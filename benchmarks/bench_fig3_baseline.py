@@ -1,0 +1,68 @@
+"""Figure 3 — Multi-Ring Paxos baseline: throughput, latency, CPU, latency CDF.
+
+Regenerates the four graphs of Figure 3 (Section 8.3.1): one ring of three
+processes, request sizes from 512 B to 32 KB, five storage modes.  The rows
+printed mirror the paper's series; the expected shape is documented in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import print_results, run_fig3_point
+from repro.bench.fig3_baseline import FIG3_STORAGE_MODES, FIG3_VALUE_SIZES
+from repro.sim.disk import StorageMode
+
+_RESULTS = []
+
+
+@pytest.mark.parametrize("storage", FIG3_STORAGE_MODES, ids=lambda m: m.value)
+@pytest.mark.parametrize("value_size", FIG3_VALUE_SIZES)
+def test_fig3_point(benchmark, storage: StorageMode, value_size: int, windows):
+    """One (value size, storage mode) point of Figure 3."""
+    warmup, duration = windows
+
+    def run():
+        return run_fig3_point(value_size, storage, warmup=warmup, duration=duration)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS.append(result)
+    benchmark.extra_info.update(result.metrics)
+    assert result.metrics["ops_per_s"] > 0
+    assert result.metrics["latency_mean_ms"] > 0
+
+
+def test_fig3_report(benchmark):
+    """Print the collected Figure 3 rows (throughput / latency / CPU)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _RESULTS:
+        pytest.skip("no fig3 points were collected")
+    print_results(
+        _RESULTS,
+        param_keys=["storage", "value_size"],
+        metric_keys=["throughput_mbps", "ops_per_s", "latency_mean_ms", "coordinator_cpu_pct"],
+        title="Figure 3 — single-ring baseline (five storage modes)",
+    )
+    # Shape assertions: larger requests carry more throughput; memory beats
+    # synchronous disk; SSD beats HDD in synchronous mode.
+    by_key = {(r.params["storage"], r.params["value_size"]): r.metrics for r in _RESULTS}
+    modes = {r.params["storage"] for r in _RESULTS}
+    sizes = sorted({r.params["value_size"] for r in _RESULTS})
+    if len(sizes) >= 2:
+        for mode in modes:
+            small = by_key[(mode, sizes[0])]["throughput_mbps"]
+            large = by_key[(mode, sizes[-1])]["throughput_mbps"]
+            assert large > small, f"throughput should grow with request size for {mode}"
+    if "memory" in modes and "sync-hdd" in modes:
+        for size in sizes:
+            assert (
+                by_key[("memory", size)]["throughput_mbps"]
+                >= by_key[("sync-hdd", size)]["throughput_mbps"]
+            )
+    if "sync-ssd" in modes and "sync-hdd" in modes:
+        for size in sizes:
+            assert (
+                by_key[("sync-ssd", size)]["latency_mean_ms"]
+                <= by_key[("sync-hdd", size)]["latency_mean_ms"]
+            )

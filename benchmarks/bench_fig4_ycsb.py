@@ -1,0 +1,73 @@
+"""Figure 4 — YCSB comparison of Cassandra-like, MRP-Store (two configs), MySQL-like.
+
+Regenerates the throughput bars of Figure 4 (Section 8.3.2) and the workload-F
+latency breakdown.  The expected ranking: the eventually consistent store (no
+ordering) is fastest on most workloads, independent rings beat the globally
+ordered configuration, and MRP-Store is comparable to the single-server store.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import print_results, run_fig4_point
+from repro.bench.fig4_ycsb import FIG4_SYSTEMS, FIG4_WORKLOADS
+
+_RESULTS = []
+
+#: Reduced client count / database so the grid completes quickly.
+_CLIENT_THREADS = 40
+_RECORDS = 2000
+
+
+@pytest.mark.parametrize("workload", FIG4_WORKLOADS)
+@pytest.mark.parametrize("system_name", FIG4_SYSTEMS)
+def test_fig4_point(benchmark, system_name: str, workload: str, windows):
+    """One (system, workload) bar of Figure 4."""
+    warmup, duration = windows
+
+    def run():
+        return run_fig4_point(
+            system_name,
+            workload,
+            client_threads=_CLIENT_THREADS,
+            record_count=_RECORDS,
+            warmup=warmup,
+            duration=duration,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS.append(result)
+    benchmark.extra_info.update(result.metrics)
+    assert result.metrics["throughput_ops"] > 0
+
+
+def test_fig4_report(benchmark):
+    """Print the Figure 4 grid and check the consistency-cost ranking."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _RESULTS:
+        pytest.skip("no fig4 points were collected")
+    print_results(
+        _RESULTS,
+        param_keys=["workload", "system"],
+        metric_keys=["throughput_ops", "latency_mean_ms"],
+        title="Figure 4 — YCSB throughput (ops/s) per system",
+    )
+    by_key = {(r.params["workload"], r.params["system"]): r.metrics for r in _RESULTS}
+    workloads = sorted({r.params["workload"] for r in _RESULTS})
+    for workload in workloads:
+        if workload == "E":
+            # Workload E (range scans) is the paper's exception: the eventual
+            # store loses its advantage because scans hit every partition.
+            continue
+        cassandra = by_key.get((workload, "cassandra"))
+        ordered = by_key.get((workload, "mrp-store"))
+        if cassandra and ordered:
+            assert cassandra["throughput_ops"] >= ordered["throughput_ops"] * 0.8, (
+                f"workload {workload}: the unordered store should not lose to global ordering"
+            )
+        indep = by_key.get((workload, "mrp-store-indep"))
+        if indep and ordered:
+            assert indep["throughput_ops"] >= ordered["throughput_ops"] * 0.7, (
+                f"workload {workload}: independent rings should not lose to the global ring"
+            )

@@ -1,0 +1,59 @@
+"""Figure 5 — dLog versus the sequencer/ensemble log (Bookkeeper stand-in).
+
+Regenerates the throughput and latency curves of Figure 5 (Section 8.3.3):
+1 KB synchronous appends, client threads swept.  Expected shape: dLog delivers
+higher throughput and lower latency; the comparator's latency is dominated by
+its aggressive batching.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import print_results, run_fig5_point
+from repro.bench.fig5_dlog import FIG5_SYSTEMS
+
+_RESULTS = []
+
+_THREADS = (10, 50, 100)
+
+
+@pytest.mark.parametrize("threads", _THREADS)
+@pytest.mark.parametrize("system_name", FIG5_SYSTEMS)
+def test_fig5_point(benchmark, system_name: str, threads: int, windows):
+    """One (system, client threads) point of Figure 5."""
+    warmup, duration = windows
+
+    def run():
+        return run_fig5_point(system_name, threads, warmup=warmup, duration=duration)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS.append(result)
+    benchmark.extra_info.update(result.metrics)
+    assert result.metrics["throughput_ops"] > 0
+
+
+def test_fig5_report(benchmark):
+    """Print the Figure 5 curves and check that dLog wins on both axes."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _RESULTS:
+        pytest.skip("no fig5 points were collected")
+    print_results(
+        _RESULTS,
+        param_keys=["system", "threads"],
+        metric_keys=["throughput_ops", "latency_mean_ms"],
+        title="Figure 5 — dLog vs sequencer log (1 KB synchronous appends)",
+    )
+    by_key = {(r.params["system"], r.params["threads"]): r.metrics for r in _RESULTS}
+    threads = sorted({r.params["threads"] for r in _RESULTS})
+    for t in threads:
+        dlog = by_key.get(("dlog", t))
+        bookkeeper = by_key.get(("bookkeeper", t))
+        if not dlog or not bookkeeper:
+            continue
+        assert dlog["throughput_ops"] > bookkeeper["throughput_ops"], (
+            f"dLog should outperform the sequencer log at {t} client threads"
+        )
+        assert dlog["latency_mean_ms"] < bookkeeper["latency_mean_ms"], (
+            f"dLog should have lower latency than the sequencer log at {t} client threads"
+        )

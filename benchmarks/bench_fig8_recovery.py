@@ -1,0 +1,58 @@
+"""Figure 8 — impact of recovery on performance.
+
+Regenerates the throughput/latency timeline of Figure 8 (Section 8.5): a
+replica of a three-replica partition is terminated and later restarted while
+an open-loop client offers a constant load; replicas checkpoint periodically
+and acceptors trim their logs.  Expected shape: throughput is essentially
+unaffected by the crash (clients take the first reply), checkpoints do not
+disrupt the service, and the terminated replica catches up after recovery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import FIG8_EVENTS, run_fig8
+
+_RESULT = {}
+
+
+def test_fig8_timeline(benchmark, full_scale):
+    """Run the recovery timeline at reduced (or full) scale."""
+    time_scale = 1.0 if full_scale else 0.05
+    load = 6000.0 if full_scale else 2000.0
+
+    def run():
+        return run_fig8(time_scale=time_scale, load_ops_per_s=load)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULT["result"] = result
+    benchmark.extra_info.update(result.metrics)
+    assert result.metrics["victim_recovered"] == 1.0
+    assert result.metrics["checkpoints_taken"] >= 1.0
+
+
+def test_fig8_report(benchmark):
+    """Print the timeline summary and check the recovery impact shape."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    result = _RESULT.get("result")
+    if result is None:
+        pytest.skip("the timeline benchmark did not run")
+    print()
+    print("Figure 8 — impact of recovery on performance")
+    for key in (
+        "throughput_before_crash",
+        "throughput_while_down",
+        "throughput_after_recovery",
+        "latency_mean_ms",
+        "checkpoints_taken",
+    ):
+        print(f"  {key:>28}: {result.metrics[key]:.1f}")
+    print("  events:", ", ".join(f"t={t:.1f}s #{int(c)} {FIG8_EVENTS[int(c)]}" for t, c in result.series["events"]))
+    before = result.metrics["throughput_before_crash"]
+    down = result.metrics["throughput_while_down"]
+    after = result.metrics["throughput_after_recovery"]
+    # Killing one replica of three must not collapse throughput, and the
+    # system must return to (or stay at) the offered load after recovery.
+    assert down >= before * 0.8
+    assert after >= before * 0.8

@@ -1,0 +1,34 @@
+"""Shared configuration of the benchmark suite.
+
+Every benchmark regenerates one figure of the paper at a reduced scale
+(shorter measurement windows, smaller client counts) so that the whole suite
+completes in minutes.  The ``--repro-full`` flag switches to the full-scale
+parameters for an overnight reproduction run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-full",
+        action="store_true",
+        default=False,
+        help="run the full-scale experiments (much slower, closer to the paper's durations)",
+    )
+
+
+@pytest.fixture(scope="session")
+def full_scale(request) -> bool:
+    """Whether the full-scale experiment parameters were requested."""
+    return request.config.getoption("--repro-full")
+
+
+@pytest.fixture(scope="session")
+def windows(full_scale):
+    """(warmup, duration) used by the scaled-down benchmark runs."""
+    if full_scale:
+        return 2.0, 20.0
+    return 0.5, 1.5

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: atomic multicast with Multi-Ring Paxos in a few lines.
+
+Builds two multicast groups (rings) over four processes, multicasts a handful
+of messages and shows that
+
+* every subscriber of a group delivers every message of that group;
+* processes subscribed to both groups deliver them in exactly the same order
+  (the paper's "order" property), thanks to the deterministic merge.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import AtomicMulticast, MultiRingConfig
+from repro.multiring import MultiRingProcess
+from repro.paxos.messages import ProposalValue
+
+
+class PrintingLearner(MultiRingProcess):
+    """A process that remembers everything it delivers."""
+
+    def __init__(self, env, name):
+        super().__init__(env, name)
+        self.delivered = []
+
+    def on_deliver(self, group_id: int, instance: int, value: ProposalValue) -> None:
+        self.delivered.append((group_id, value.payload))
+
+
+def main() -> None:
+    # Rate leveling keeps a lightly loaded ring from stalling the other one.
+    config = MultiRingConfig(rate_interval=0.005, max_rate=1000.0,
+                             checkpoint_interval=None, trim_interval=None)
+    system = AtomicMulticast(seed=42, config=config)
+
+    # Four processes: two subscribe to both groups, one to each single group.
+    both = [PrintingLearner(system.env, f"both{i}") for i in range(2)]
+    only_a = PrintingLearner(system.env, "only-a")
+    only_b = PrintingLearner(system.env, "only-b")
+
+    # Group 0 ("a") and group 1 ("b"), each one ring.
+    system.create_ring(0, [(p.name, "pal") for p in both] + [(only_a.name, "l")])
+    system.create_ring(1, [(p.name, "pal") for p in both] + [(only_b.name, "l")])
+    system.start()
+
+    # Multicast interleaved messages to the two groups.
+    for i in range(5):
+        both[0].multicast(0, payload=f"a{i}", size_bytes=128)
+        both[1].multicast(1, payload=f"b{i}", size_bytes=128)
+
+    system.run(until=2.0)
+
+    print("deliveries at a process subscribed to BOTH groups:")
+    print("  ", both[0].delivered)
+    print("deliveries at the process subscribed to group 0 only:")
+    print("  ", only_a.delivered)
+    print("deliveries at the process subscribed to group 1 only:")
+    print("  ", only_b.delivered)
+
+    assert both[0].delivered == both[1].delivered, "subscribers of the same groups must agree"
+    assert [p for _, p in only_a.delivered] == [f"a{i}" for i in range(5)]
+    assert [p for _, p in only_b.delivered] == [f"b{i}" for i in range(5)]
+    print("\natomic multicast properties hold: agreement, validity, acyclic order")
+
+
+if __name__ == "__main__":
+    main()

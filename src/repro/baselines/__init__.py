@@ -1,0 +1,23 @@
+"""Comparators used by the paper's evaluation: eventual store, single server, sequencer log."""
+
+from .eventual import EventualStoreReplica, EventualStoreService, ReplicateWrite
+from .seqlog import (
+    BatchAck,
+    BatchWrite,
+    EnsembleStorageNode,
+    SequencerLogLeader,
+    SequencerLogService,
+)
+from .singleserver import SingleServerStore
+
+__all__ = [
+    "EventualStoreReplica",
+    "EventualStoreService",
+    "ReplicateWrite",
+    "BatchAck",
+    "BatchWrite",
+    "EnsembleStorageNode",
+    "SequencerLogLeader",
+    "SequencerLogService",
+    "SingleServerStore",
+]

@@ -1,0 +1,145 @@
+"""Figure 3 — Multi-Ring Paxos baseline with a dummy service.
+
+One ring with three processes, all of them proposers, acceptors and learners,
+one of the acceptors being the coordinator.  Proposers keep ten requests
+outstanding each ("10 threads"); request sizes sweep 512 B to 32 KB; five
+storage modes are compared (in-memory, async/sync on HDD and SSD); ring
+batching is disabled.  Four metrics are reported: throughput in Mbps, mean
+latency, coordinator CPU utilisation and the latency CDF for 32 KB requests
+(Section 8.3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.amcast import AtomicMulticast
+from ..core.config import MultiRingConfig
+from ..multiring.process import MultiRingProcess
+from ..paxos.messages import ProposalValue
+from ..sim.disk import StorageMode
+from ..sim.topology import single_datacenter
+from .runner import ExperimentResult, MeasurementWindow
+
+__all__ = ["run_fig3", "run_fig3_point", "FIG3_VALUE_SIZES", "FIG3_STORAGE_MODES"]
+
+#: Request sizes of the x-axis (bytes).
+FIG3_VALUE_SIZES = (512, 2048, 8192, 32768)
+
+#: The five storage modes of the figure.
+FIG3_STORAGE_MODES = (
+    StorageMode.IN_MEMORY,
+    StorageMode.ASYNC_SSD,
+    StorageMode.ASYNC_HDD,
+    StorageMode.SYNC_SSD,
+    StorageMode.SYNC_HDD,
+)
+
+
+class _SelfProposingLearner(MultiRingProcess):
+    """A ring member that generates its own load (the paper's proposer threads).
+
+    Each process keeps ``threads`` proposals outstanding: a new value is
+    proposed as soon as one of its own values is delivered, which is how the
+    Java prototype's proposer threads behave.
+    """
+
+    def __init__(self, env, name, ring_id: int, value_size: int, threads: int = 10) -> None:
+        super().__init__(env, name)
+        self._ring_id = ring_id
+        self._value_size = value_size
+        self._threads = threads
+        self._outstanding: Dict[int, float] = {}
+
+    def on_start(self) -> None:
+        super().on_start()
+        for _ in range(self._threads):
+            self._propose_next()
+
+    def _propose_next(self) -> None:
+        if not self.alive:
+            return
+        value = self.multicast(self._ring_id, payload=("dummy", self.name), size_bytes=self._value_size)
+        self._outstanding[value.proposal_id] = value.created_at
+
+    def on_deliver(self, group_id: int, instance: int, value: ProposalValue) -> None:
+        self.env.metrics.throughput("fig3.delivered_bytes").record(value.size_bytes)
+        self.env.metrics.throughput("fig3.delivered_ops").record(1.0)
+        if value.proposer == self.name and value.proposal_id in self._outstanding:
+            latency = self.now - self._outstanding.pop(value.proposal_id)
+            self.env.metrics.latency("fig3.latency").record(latency)
+            self._propose_next()
+
+
+def run_fig3_point(
+    value_size: int,
+    storage_mode: StorageMode,
+    warmup: float = 1.0,
+    duration: float = 8.0,
+    threads_per_proposer: int = 10,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Run one (value size, storage mode) point of Figure 3."""
+    config = MultiRingConfig(
+        storage_mode=storage_mode,
+        batching_enabled=False,
+        rate_interval=None,      # single ring: no merge partner to level against
+        checkpoint_interval=None,
+        trim_interval=None,
+    )
+    system = AtomicMulticast(topology=single_datacenter(), config=config, seed=seed)
+    processes = [
+        _SelfProposingLearner(system.env, f"p{i}", ring_id=0, value_size=value_size,
+                              threads=threads_per_proposer)
+        for i in range(3)
+    ]
+    system.create_ring(0, [(p.name, "pal") for p in processes])
+
+    window = MeasurementWindow(warmup=warmup, duration=duration)
+    system.start()
+    system.run(until=window.warmup)
+    system.env.metrics.reset_all()
+    coordinator = system.env.actor(system.ring(0).coordinator)
+    coordinator.cpu.reset_window()
+    start = system.env.now
+    system.run(until=window.end)
+    end = system.env.now
+
+    delivered_bytes = system.env.metrics.throughput("fig3.delivered_bytes")
+    delivered_ops = system.env.metrics.throughput("fig3.delivered_ops")
+    latency = system.env.metrics.latency("fig3.latency")
+    # Deliveries happen at three learners; each value is counted once per
+    # learner, so divide by the learner count for per-value rates.
+    learners = 3
+    throughput_mbps = delivered_bytes.rate(start, end) * 8.0 / 1e6 / learners
+    ops_per_second = delivered_ops.rate(start, end) / learners
+
+    return ExperimentResult(
+        name="fig3",
+        params={"value_size": value_size, "storage": storage_mode.value},
+        metrics={
+            "throughput_mbps": throughput_mbps,
+            "ops_per_s": ops_per_second,
+            "latency_mean_ms": latency.mean() * 1e3,
+            "latency_p95_ms": latency.percentile(95) * 1e3,
+            "coordinator_cpu_pct": coordinator.cpu.utilization_percent(),
+        },
+        series={"latency_cdf": latency.cdf(points=50)},
+    )
+
+
+def run_fig3(
+    value_sizes: Sequence[int] = FIG3_VALUE_SIZES,
+    storage_modes: Sequence[StorageMode] = FIG3_STORAGE_MODES,
+    warmup: float = 1.0,
+    duration: float = 8.0,
+    seed: int = 42,
+) -> List[ExperimentResult]:
+    """Run the full Figure 3 sweep (all sizes × all storage modes)."""
+    results = []
+    for mode in storage_modes:
+        for size in value_sizes:
+            results.append(
+                run_fig3_point(size, mode, warmup=warmup, duration=duration, seed=seed)
+            )
+    return results

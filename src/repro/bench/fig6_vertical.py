@@ -1,0 +1,127 @@
+"""Figure 6 — vertical scalability of dLog (rings ↔ disks).
+
+The number of rings grows from 1 to 5; each ring is bound to its own disk, so
+adding a ring adds storage resources to the same three physical machines.
+Learners subscribe to the ``k`` log rings plus one common ring shared by all
+learners.  Clients issue 1 KB appends batched into 32 KB packets; acceptors
+write asynchronously.  The figure reports aggregate throughput (with the
+relative increment per added ring printed on the bars) and the latency CDF of
+writes to disk 1 (Section 8.4.1).
+
+Expected shape: aggregate throughput grows close to linearly with the number
+of rings (the paper reports 95-106 % relative increments) while latency stays
+roughly flat.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.amcast import AtomicMulticast
+from ..core.client import ClosedLoopClient
+from ..core.config import MultiRingConfig
+from ..dlog.client import DLogCommands, append_request_factory
+from ..dlog.service import DLogService
+from ..sim.disk import StorageMode
+from ..sim.topology import single_datacenter
+from ..workloads.log import single_log
+from .reporting import relative_increments
+from .runner import ExperimentResult, MeasurementWindow, measure
+
+__all__ = ["run_fig6", "run_fig6_point", "FIG6_RING_COUNTS"]
+
+#: Number of synchronised logs (rings) on the x-axis.
+FIG6_RING_COUNTS = (1, 2, 3, 4, 5)
+
+_APPEND_BYTES = 1024
+_COMMON_RING_ID = 99
+
+
+def run_fig6_point(
+    ring_count: int,
+    clients_per_ring: int = 16,
+    warmup: float = 1.0,
+    duration: float = 8.0,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Run one ring-count point of Figure 6."""
+    if ring_count < 1:
+        raise ValueError("ring_count must be >= 1")
+    config = MultiRingConfig(
+        storage_mode=StorageMode.ASYNC_HDD,
+        batching_enabled=True,
+        batch_max_bytes=32 * 1024,
+        rate_interval=0.005,
+        max_rate=4000.0,
+        checkpoint_interval=None,
+        trim_interval=None,
+    )
+    system = AtomicMulticast(topology=single_datacenter(), config=config, seed=seed)
+    log_ids = list(range(ring_count))
+    service = DLogService(
+        system,
+        log_ids=log_ids,
+        acceptors_per_log=2,
+        replica_count=1,
+        common_ring_id=_COMMON_RING_ID,
+        dedicated_disks=True,
+        config=config,
+    )
+    commands = DLogCommands()
+    clients = []
+    for log_id in log_ids:
+        factory = append_request_factory(
+            commands, log_chooser=single_log(log_id), append_bytes=_APPEND_BYTES
+        )
+        clients.append(
+            ClosedLoopClient(
+                system.env,
+                f"fig6-client{log_id}",
+                frontends_by_group=service.frontend_map(),
+                request_factory=factory,
+                concurrency=clients_per_ring,
+                metric_prefix=f"fig6.ring{log_id}",
+            )
+        )
+
+    window = MeasurementWindow(warmup=warmup, duration=duration)
+    metric_names = [f"fig6.ring{log_id}" for log_id in log_ids]
+    results = measure(
+        system,
+        window,
+        throughput_metrics=[f"{m}.throughput" for m in metric_names],
+        latency_metrics=[f"{m}.latency" for m in metric_names],
+    )
+
+    per_ring = [results[f"{m}.throughput.rate"] for m in metric_names]
+    aggregate = sum(per_ring)
+    disk1_latency_mean = results[f"{metric_names[0]}.latency.mean_ms"]
+    return ExperimentResult(
+        name="fig6",
+        params={"rings": ring_count},
+        metrics={
+            "aggregate_ops": aggregate,
+            "per_ring_ops": per_ring[0] if per_ring else 0.0,
+            "latency_disk1_mean_ms": disk1_latency_mean,
+            "latency_disk1_p95_ms": results[f"{metric_names[0]}.latency.p95_ms"],
+        },
+        series={"latency_cdf_disk1": results[f"{metric_names[0]}.latency.cdf"]},
+    )
+
+
+def run_fig6(
+    ring_counts: Sequence[int] = FIG6_RING_COUNTS,
+    clients_per_ring: int = 16,
+    warmup: float = 1.0,
+    duration: float = 8.0,
+    seed: int = 42,
+) -> List[ExperimentResult]:
+    """Run the full Figure 6 sweep and annotate relative increments."""
+    results = [
+        run_fig6_point(k, clients_per_ring=clients_per_ring, warmup=warmup, duration=duration, seed=seed)
+        for k in ring_counts
+    ]
+    increments = relative_increments([r.metrics["aggregate_ops"] for r in results])
+    for result, increment in zip(results, increments):
+        result.metrics["relative_increment_pct"] = increment
+    return results

@@ -1,0 +1,102 @@
+"""Experiment runner utilities shared by every figure's benchmark.
+
+The paper runs each experiment "for a duration of at least 100 seconds"
+(Section 8.2) and reports steady-state throughput, latency distributions and,
+for the recovery experiment, a per-second timeline.  The helpers here
+standardise that measurement discipline for the simulated reproduction:
+
+* :func:`measure` runs a deployment through a warm-up window, resets the
+  instruments, runs the measurement window and gathers the standard metrics;
+* :class:`ExperimentResult` is the uniform result record every figure module
+  returns, with the parameters, the scalar metrics and any per-time or
+  per-point series;
+The figure modules accept a ``scale`` parameter so the pytest benchmarks can
+run shortened versions of the experiments (the paper's 100-second runs are
+impractical inside a unit-test budget) while keeping the full-length defaults
+available for reproduction runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.amcast import AtomicMulticast
+from ..sim.metrics import LatencyRecorder, ThroughputTracker
+
+__all__ = ["ExperimentResult", "measure", "MeasurementWindow"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment point (one bar / one line point of a figure)."""
+
+    name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+
+    def metric(self, key: str, default: float = 0.0) -> float:
+        """A scalar metric with a default."""
+        return self.metrics.get(key, default)
+
+    def describe(self) -> str:
+        """One-line human readable summary."""
+        params = ", ".join(f"{k}={v}" for k, v in self.params.items())
+        metrics = ", ".join(f"{k}={v:.3g}" for k, v in self.metrics.items())
+        return f"{self.name} [{params}] {metrics}"
+
+
+@dataclass
+class MeasurementWindow:
+    """The warm-up/measurement split of one run."""
+
+    warmup: float = 2.0
+    duration: float = 10.0
+
+    @property
+    def end(self) -> float:
+        """Simulation time at which the measurement stops."""
+        return self.warmup + self.duration
+
+
+def measure(
+    system: AtomicMulticast,
+    window: MeasurementWindow,
+    throughput_metrics: Sequence[str] = (),
+    latency_metrics: Sequence[str] = (),
+    timeline_metrics: Sequence[str] = (),
+) -> Dict[str, Any]:
+    """Run ``system`` through a warm-up and a measurement window.
+
+    Returns a dictionary with, for every requested throughput metric, the
+    average rate over the window (``<name>.rate``); for every latency metric
+    the mean/percentiles in milliseconds; and for every timeline metric the
+    per-second series relative to the start of the measurement window.
+    """
+    system.start()
+    system.run(until=window.warmup)
+    system.env.metrics.reset_all()
+    start = system.env.now
+    system.run(until=window.end)
+    end = system.env.now
+
+    results: Dict[str, Any] = {"window": (start, end)}
+    for name in throughput_metrics:
+        tracker = system.env.metrics.throughput(name)
+        results[f"{name}.rate"] = tracker.rate(start, end)
+        results[f"{name}.total"] = tracker.total_between(start, end)
+    for name in latency_metrics:
+        recorder = system.env.metrics.latency(name)
+        results[f"{name}.mean_ms"] = recorder.mean() * 1e3
+        results[f"{name}.p50_ms"] = recorder.percentile(50) * 1e3
+        results[f"{name}.p95_ms"] = recorder.percentile(95) * 1e3
+        results[f"{name}.p99_ms"] = recorder.percentile(99) * 1e3
+        results[f"{name}.count"] = recorder.count
+        results[f"{name}.cdf"] = recorder.cdf(points=50)
+    for name in timeline_metrics:
+        tracker = system.env.metrics.throughput(name)
+        results[f"{name}.timeline"] = [
+            (t - start, rate) for t, rate in tracker.timeline(start, end)
+        ]
+    return results

@@ -1,0 +1,5 @@
+"""Coordination service (Zookeeper substitute): ring registry, partition map."""
+
+from .registry import CoordinationService, RingConfig
+
+__all__ = ["CoordinationService", "RingConfig"]

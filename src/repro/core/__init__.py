@@ -1,0 +1,21 @@
+"""Public library API: deployment façade, configuration, SMR and clients."""
+
+from .amcast import AtomicMulticast, parse_roles
+from .client import ClosedLoopClient, Command, CommandBatch, CommandBatcher, OpenLoopClient
+from .config import MultiRingConfig, global_config, local_config
+from .smr import ProposerFrontend, StateMachineReplica
+
+__all__ = [
+    "AtomicMulticast",
+    "parse_roles",
+    "ClosedLoopClient",
+    "OpenLoopClient",
+    "Command",
+    "CommandBatch",
+    "CommandBatcher",
+    "MultiRingConfig",
+    "global_config",
+    "local_config",
+    "ProposerFrontend",
+    "StateMachineReplica",
+]

@@ -1,0 +1,104 @@
+"""Configuration of a Multi-Ring Paxos deployment.
+
+:class:`MultiRingConfig` gathers every knob the paper exposes:
+
+* ``M`` — consensus instances consumed from one ring before the deterministic
+  merge moves to the next ring;
+* ``Δ`` (``rate_interval``) and ``λ`` (``max_rate``) — the rate-leveling
+  parameters;
+* the acceptor storage mode (Figure 3's five modes);
+* client/coordinator batching;
+* checkpoint and trim periods used by the recovery protocol.
+
+Two presets mirror Section 8.2: :func:`local_config` (within a datacenter:
+``M=1``, ``Δ=5 ms``, ``λ=9000``) and :func:`global_config` (across
+datacenters: ``M=1``, ``Δ=20 ms``, ``λ=2000``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..multiring.ratelevel import RateLeveler
+from ..ringpaxos.coordinator import InstanceBatchPolicy
+from ..ringpaxos.node import RingNodeConfig
+from ..sim.cpu import CpuCostModel
+from ..sim.disk import StorageMode
+
+__all__ = ["MultiRingConfig", "local_config", "global_config"]
+
+#: Maximum client batch size (Sections 7.2 and 7.3).
+CLIENT_BATCH_BYTES = 32 * 1024
+
+
+@dataclass
+class MultiRingConfig:
+    """All tunables of one Multi-Ring Paxos deployment."""
+
+    #: Deterministic-merge parameter M: instances per ring per round.
+    messages_per_round: int = 1
+    #: Rate-leveling interval Δ in seconds (``None`` disables skip proposals).
+    rate_interval: Optional[float] = 0.005
+    #: Rate-leveling maximum expected rate λ in messages per second.
+    max_rate: float = 9000.0
+    #: Acceptor stable-storage mode.
+    storage_mode: StorageMode = StorageMode.IN_MEMORY
+    #: Coordinator instance batching (disabled for the Figure 3 baseline).
+    batching_enabled: bool = False
+    #: Maximum bytes of payload packed into one instance when batching.
+    batch_max_bytes: int = CLIENT_BATCH_BYTES
+    #: How often replicas checkpoint their state (seconds); None disables it.
+    checkpoint_interval: Optional[float] = 10.0
+    #: How often coordinators run the trim protocol (seconds); None disables it.
+    trim_interval: Optional[float] = 20.0
+    #: CPU cost model charged per protocol message.
+    cpu_model: CpuCostModel = field(default_factory=CpuCostModel)
+
+    # ------------------------------------------------------------ derivation
+    def rate_leveler(self) -> Optional[RateLeveler]:
+        """The rate-leveling policy, or ``None`` when disabled."""
+        if self.rate_interval is None:
+            return None
+        return RateLeveler(interval=self.rate_interval, max_rate=self.max_rate)
+
+    def batch_policy(self) -> InstanceBatchPolicy:
+        """The coordinator batching policy derived from this configuration."""
+        return InstanceBatchPolicy(
+            enabled=self.batching_enabled, max_bytes=self.batch_max_bytes
+        )
+
+    def ring_node_config(self) -> RingNodeConfig:
+        """Materialise the per-ring node configuration."""
+        return RingNodeConfig(
+            storage_mode=self.storage_mode,
+            cpu_model=self.cpu_model,
+            batch_policy=self.batch_policy(),
+            rate_interval=self.rate_interval,
+            rate_policy=self.rate_leveler(),
+            trim_interval=self.trim_interval,
+        )
+
+    def with_(self, **changes) -> "MultiRingConfig":
+        """A copy of the configuration with the given fields replaced."""
+        return replace(self, **changes)
+
+
+def local_config(storage_mode: StorageMode = StorageMode.IN_MEMORY) -> MultiRingConfig:
+    """The paper's intra-datacenter configuration (M=1, Δ=5 ms, λ=9000)."""
+    return MultiRingConfig(
+        messages_per_round=1,
+        rate_interval=0.005,
+        max_rate=9000.0,
+        storage_mode=storage_mode,
+    )
+
+
+def global_config(storage_mode: StorageMode = StorageMode.ASYNC_SSD) -> MultiRingConfig:
+    """The paper's cross-datacenter configuration (M=1, Δ=20 ms, λ=2000)."""
+    return MultiRingConfig(
+        messages_per_round=1,
+        rate_interval=0.020,
+        max_rate=2000.0,
+        storage_mode=storage_mode,
+    )

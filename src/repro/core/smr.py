@@ -1,0 +1,307 @@
+"""State-machine replication on top of atomic multicast.
+
+Both services of the paper (MRP-Store and dLog) replicate their partitions
+with the state-machine approach: every replica of a partition delivers the
+same sequence of commands — provided by Multi-Ring Paxos — and applies them
+deterministically, so all replicas traverse the same states (Section 6).
+
+:class:`StateMachineReplica` implements everything that is common:
+
+* executing delivered commands (service subclasses implement
+  :meth:`apply_command`),
+* answering clients (first response wins at the client; multi-partition
+  commands are answered per partition),
+* periodic checkpointing through :class:`~repro.recovery.checkpointing.ReplicaCheckpointer`,
+* serving checkpoint requests from recovering peers,
+* recovering after a crash through :class:`~repro.recovery.recover.RecoveryManager`.
+
+:class:`ProposerFrontend` is the thin process clients talk to: it receives
+client requests (possibly batched) and multicasts them to the requested
+group.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..net.message import ClientRequest, ClientResponse
+from ..paxos.messages import CheckpointReply, CheckpointRequest, ProposalValue, RetransmitReply
+from ..recovery.checkpointing import ReplicaCheckpointer
+from ..recovery.recover import RecoveryManager, RecoveryPhase
+from ..sim.actor import Environment
+from ..sim.disk import SSD_PROFILE
+from ..storage.checkpoint import CheckpointId, CheckpointStore
+from ..multiring.process import MultiRingProcess
+from .client import Command, CommandBatch
+from .config import MultiRingConfig
+
+__all__ = ["StateMachineReplica", "ProposerFrontend"]
+
+
+class StateMachineReplica(MultiRingProcess):
+    """A replica executing commands delivered by Multi-Ring Paxos.
+
+    Subclasses implement the service semantics by overriding
+    :meth:`apply_command`, :meth:`snapshot_state`, :meth:`install_state_snapshot`
+    and :meth:`reset_state`.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        site: str = "dc1",
+        config: Optional[MultiRingConfig] = None,
+        respond_to_clients: bool = True,
+    ) -> None:
+        config = config or MultiRingConfig()
+        super().__init__(env, name, site, messages_per_round=config.messages_per_round)
+        self.config = config
+        self.respond_to_clients = respond_to_clients
+        self.checkpoint_store = CheckpointStore(env, profile=SSD_PROFILE, name=f"{name}.ckpt")
+        self._checkpointer: Optional[ReplicaCheckpointer] = None
+        self._recovery: Optional[RecoveryManager] = None
+        self._commands_applied = 0
+        self._recovering = False
+
+    # ----------------------------------------------------------- service API
+    def apply_command(self, group_id: int, command: Command) -> Any:
+        """Execute one command against the service state (override)."""
+        raise NotImplementedError
+
+    def snapshot_state(self) -> Tuple[Any, int]:
+        """Return ``(state, size_bytes)`` — a deep copy of the service state."""
+        raise NotImplementedError
+
+    def install_state_snapshot(self, state: Any) -> None:
+        """Replace the service state with a downloaded snapshot."""
+        raise NotImplementedError
+
+    def reset_state(self) -> None:
+        """Drop the in-memory service state (called on crash/restart)."""
+        raise NotImplementedError
+
+    # ----------------------------------------------------------------- start
+    def on_start(self) -> None:
+        super().on_start()
+        self._ensure_checkpointer()
+        if self.config.checkpoint_interval is not None:
+            self.set_periodic_timer(self.config.checkpoint_interval, self._checkpoint_tick)
+
+    def _ensure_checkpointer(self) -> None:
+        groups = self.subscribed_groups()
+        if not groups or self._checkpointer is not None:
+            return
+        self._checkpointer = ReplicaCheckpointer(
+            store=self.checkpoint_store,
+            snapshot_fn=self.snapshot_state,
+            group_ids=groups,
+            at_round_boundary=(
+                (lambda: self.merger.is_round_boundary()) if self.merger else (lambda: True)
+            ),
+        )
+
+    def _checkpoint_tick(self) -> None:
+        if self._checkpointer is not None and not self._recovering:
+            self._checkpointer.request_checkpoint()
+
+    # -------------------------------------------------------------- delivery
+    def on_deliver(self, group_id: int, instance: int, value: ProposalValue) -> None:
+        payload = value.payload
+        if isinstance(payload, CommandBatch):
+            for command in payload:
+                self._apply_and_respond(group_id, command)
+        elif isinstance(payload, Command):
+            self._apply_and_respond(group_id, payload)
+        else:
+            # Opaque payload (e.g. the dummy service of the baseline bench).
+            self._commands_applied += 1
+        if self._checkpointer is not None:
+            self._checkpointer.mark_delivered(group_id, instance)
+            self._checkpointer.maybe_take_deferred()
+
+    def _apply_and_respond(self, group_id: int, command: Command) -> None:
+        result = self.apply_command(group_id, command)
+        self._commands_applied += 1
+        self.env.metrics.throughput(f"service.{self.name}.ops").record(1.0)
+        if self.respond_to_clients and command.client:
+            self.send(
+                command.client,
+                ClientResponse(
+                    payload_bytes=command.response_size,
+                    request_id=command.command_id,
+                    result={"group_id": group_id, "value": result},
+                    replica=self.name,
+                ),
+            )
+
+    @property
+    def commands_applied(self) -> int:
+        """Total commands applied by this replica since it (re)started."""
+        return self._commands_applied
+
+    # ---------------------------------------------------------- trim support
+    def safe_instance_for(self, group_id: int) -> int:
+        if self._checkpointer is None:
+            return -1
+        return self._checkpointer.safe_instance(group_id)
+
+    # ------------------------------------------------------ recovery serving
+    def on_service_message(self, sender: str, message: Any) -> None:
+        if isinstance(message, CheckpointRequest):
+            self._serve_checkpoint_request(sender, message)
+        elif isinstance(message, CheckpointReply):
+            if self._recovery is not None:
+                self._recovery.handle_checkpoint_reply(message)
+        elif isinstance(message, RetransmitReply):
+            if self._recovery is not None:
+                self._recovery.handle_retransmit_reply(message)
+        else:
+            self.on_client_message(sender, message)
+
+    def on_client_message(self, sender: str, message: Any) -> None:
+        """Hook for service-specific client traffic (override as needed)."""
+
+    def _serve_checkpoint_request(self, sender: str, message: CheckpointRequest) -> None:
+        latest = self.checkpoint_store.latest()
+        if latest is None:
+            self.send(sender, CheckpointReply(replica=self.name, checkpoint_id=None))
+            return
+        if not message.include_state:
+            self.send(
+                sender,
+                CheckpointReply(replica=self.name, checkpoint_id=latest.checkpoint_id),
+            )
+            return
+        self.send(
+            sender,
+            CheckpointReply(
+                replica=self.name,
+                checkpoint_id=latest.checkpoint_id,
+                state=latest.state,
+                includes_state=True,
+                state_size_bytes=latest.size_bytes,
+            ),
+        )
+
+    # --------------------------------------------------------- crash/restart
+    def on_crash(self) -> None:
+        super().on_crash()
+        self.reset_state()
+        self._commands_applied = 0
+        self._checkpointer = None
+        self._recovery = None
+
+    def on_restart(self) -> None:
+        super().on_restart()
+        self._ensure_checkpointer()
+        if self.config.checkpoint_interval is not None:
+            self.set_periodic_timer(self.config.checkpoint_interval, self._checkpoint_tick)
+        self.start_recovery()
+
+    def start_recovery(self, partition_peers: Optional[List[str]] = None) -> None:
+        """Begin the recovery protocol of Section 5.2."""
+        groups = self.subscribed_groups()
+        if not groups:
+            return
+        peers = partition_peers if partition_peers is not None else self._default_partition_peers()
+        acceptors_by_group = {
+            g: [a for a in self.node(g).overlay.acceptors if a != self.name]
+            for g in groups
+        }
+        self._recovering = True
+        self._recovery = RecoveryManager(
+            host=self,
+            group_ids=groups,
+            partition_peers=peers,
+            acceptors_by_group=acceptors_by_group,
+            install_state=self._install_checkpoint,
+            inject_decided=self._inject_recovered,
+            on_complete=self._recovery_complete,
+        )
+        self._recovery.start()
+
+    def _default_partition_peers(self) -> List[str]:
+        """Learners of my rings having the same subscription set as me."""
+        groups = set(self.subscribed_groups())
+        peers: List[str] = []
+        for g in groups:
+            for learner in self.node(g).overlay.learners:
+                if learner == self.name or learner in peers:
+                    continue
+                peer = self.env.actor(learner) if self.env.has_actor(learner) else None
+                if isinstance(peer, MultiRingProcess) and set(peer.subscribed_groups()) == groups:
+                    peers.append(learner)
+        return sorted(peers)
+
+    def _install_checkpoint(self, state: Any, checkpoint_id: CheckpointId) -> None:
+        self.install_state_snapshot(state)
+        positions = checkpoint_id.as_dict()
+        for group, instance in positions.items():
+            if group in self.ring_ids():
+                node = self.node(group)
+                if node.learner is not None:
+                    node.learner.fast_forward(instance)
+        if self.merger is not None:
+            self.merger.fast_forward(positions)
+        if self._checkpointer is not None:
+            for group, instance in positions.items():
+                if instance >= 0:
+                    self._checkpointer.mark_delivered(group, instance)
+
+    def _inject_recovered(self, group_id: int, instance: int, value: ProposalValue) -> None:
+        node = self.node(group_id)
+        if node.learner is not None:
+            node.learner.inject_decided(instance, value)
+
+    def _recovery_complete(self) -> None:
+        self._recovering = False
+        self.env.metrics.counter(f"recovery.{self.name}.completed").increment()
+
+    @property
+    def recovery_phase(self) -> RecoveryPhase:
+        """Where the replica currently stands in its recovery (IDLE when none)."""
+        if self._recovery is None:
+            return RecoveryPhase.IDLE
+        return self._recovery.phase
+
+    @property
+    def checkpointer(self) -> Optional[ReplicaCheckpointer]:
+        """The replica's checkpointer (``None`` before the first start)."""
+        return self._checkpointer
+
+
+class ProposerFrontend(MultiRingProcess):
+    """A proposer-only process that turns client requests into multicasts.
+
+    Clients of MRP-Store and dLog connect to proposers (Thrift in the
+    prototype); the proposer multicasts the command — or the 32 KB batch of
+    commands — to the ring of the partition it addresses.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        site: str = "dc1",
+        config: Optional[MultiRingConfig] = None,
+    ) -> None:
+        config = config or MultiRingConfig()
+        super().__init__(env, name, site, messages_per_round=config.messages_per_round)
+        self.config = config
+        self._forwarded = 0
+
+    def on_service_message(self, sender: str, message: Any) -> None:
+        if not isinstance(message, ClientRequest):
+            return
+        command = message.command
+        if isinstance(command, (Command, CommandBatch)):
+            group_id = command.group_id
+            size = command.size_bytes
+            self.multicast(group_id, command, size)
+            self._forwarded += 1
+
+    @property
+    def forwarded(self) -> int:
+        """Client requests forwarded into the ordering layer."""
+        return self._forwarded

@@ -1,0 +1,16 @@
+"""dLog: a distributed shared log with atomic multi-log appends."""
+
+from .client import DLogCommands, append_request_factory
+from .log import LogEntry, LogSegment, SharedLog
+from .replica import DLogReplica
+from .service import DLogService
+
+__all__ = [
+    "DLogCommands",
+    "append_request_factory",
+    "LogEntry",
+    "LogSegment",
+    "SharedLog",
+    "DLogReplica",
+    "DLogService",
+]

@@ -1,0 +1,19 @@
+"""MRP-Store: a partitioned, replicated, sequentially consistent key-value store."""
+
+from .client import MRPStoreCommands, kv_request_factory
+from .partitioning import HashPartitioner, Partitioner, RangePartitioner
+from .replica import MRPStoreReplica
+from .service import MRPStoreService
+from .store import KeyValueStore, StoredValue
+
+__all__ = [
+    "MRPStoreCommands",
+    "kv_request_factory",
+    "HashPartitioner",
+    "Partitioner",
+    "RangePartitioner",
+    "MRPStoreReplica",
+    "MRPStoreService",
+    "KeyValueStore",
+    "StoredValue",
+]

@@ -1,0 +1,16 @@
+"""Multi-Ring Paxos: atomic multicast from coordinated Ring Paxos instances."""
+
+from .group import GroupSubscriptions, MulticastGroup
+from .merge import DeterministicMerger
+from .process import MultiRingProcess
+from .ratelevel import GLOBAL_RATE_LEVELER, LOCAL_RATE_LEVELER, RateLeveler
+
+__all__ = [
+    "GroupSubscriptions",
+    "MulticastGroup",
+    "DeterministicMerger",
+    "MultiRingProcess",
+    "GLOBAL_RATE_LEVELER",
+    "LOCAL_RATE_LEVELER",
+    "RateLeveler",
+]

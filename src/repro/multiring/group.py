@@ -1,0 +1,91 @@
+"""Multicast groups and subscriptions.
+
+Multi-Ring Paxos assigns one Ring Paxos instance (a *ring*) to each multicast
+group.  The paper adopts an "inverted" group addressing semantics (Section 3):
+clients address exactly one group per multicast, and any server may subscribe
+to any set of groups it is interested in — the replication groups of the
+shards it currently replicates.
+
+:class:`GroupSubscriptions` is the bookkeeping of which process subscribes to
+which groups.  The set of processes that subscribe to exactly the same set of
+groups forms a *partition* (Section 5.2); partitions matter for recovery
+because a replica may only install checkpoints taken by replicas of its own
+partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+__all__ = ["GroupSubscriptions", "MulticastGroup"]
+
+
+@dataclass(frozen=True)
+class MulticastGroup:
+    """A multicast group and the ring that implements it."""
+
+    group_id: int
+    ring_id: int
+
+    def __post_init__(self) -> None:
+        if self.group_id < 0:
+            raise ValueError("group ids must be non-negative")
+
+
+class GroupSubscriptions:
+    """Tracks which learner subscribes to which multicast groups."""
+
+    def __init__(self) -> None:
+        self._subscriptions: Dict[str, Set[int]] = {}
+
+    # ------------------------------------------------------------- mutation
+    def subscribe(self, process: str, group_id: int) -> None:
+        """Record that ``process`` wants to deliver messages of ``group_id``."""
+        self._subscriptions.setdefault(process, set()).add(group_id)
+
+    def unsubscribe(self, process: str, group_id: int) -> None:
+        """Remove a subscription (no-op when absent)."""
+        if process in self._subscriptions:
+            self._subscriptions[process].discard(group_id)
+            if not self._subscriptions[process]:
+                del self._subscriptions[process]
+
+    # -------------------------------------------------------------- queries
+    def groups_of(self, process: str) -> List[int]:
+        """Sorted group ids ``process`` subscribes to."""
+        return sorted(self._subscriptions.get(process, set()))
+
+    def subscribers_of(self, group_id: int) -> List[str]:
+        """Processes subscribed to ``group_id`` (sorted for determinism)."""
+        return sorted(p for p, groups in self._subscriptions.items() if group_id in groups)
+
+    def partition_of(self, process: str) -> FrozenSet[int]:
+        """The partition signature of ``process``: the exact set of its groups."""
+        return frozenset(self._subscriptions.get(process, set()))
+
+    def partition_peers(self, process: str) -> List[str]:
+        """Processes in the same partition as ``process`` (excluding itself).
+
+        Only these peers hold checkpoints that ``process`` can install during
+        recovery (Section 5.2).
+        """
+        signature = self.partition_of(process)
+        if not signature:
+            return []
+        return sorted(
+            p
+            for p, groups in self._subscriptions.items()
+            if p != process and frozenset(groups) == signature
+        )
+
+    def partitions(self) -> Dict[FrozenSet[int], List[str]]:
+        """All partitions: ``{group set: sorted process names}``."""
+        result: Dict[FrozenSet[int], List[str]] = {}
+        for process, groups in self._subscriptions.items():
+            result.setdefault(frozenset(groups), []).append(process)
+        return {sig: sorted(names) for sig, names in result.items()}
+
+    def processes(self) -> List[str]:
+        """Every process with at least one subscription."""
+        return sorted(self._subscriptions)

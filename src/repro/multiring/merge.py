@@ -1,0 +1,167 @@
+"""Deterministic merge of multiple ring streams.
+
+A Multi-Ring Paxos learner subscribed to several rings must deliver messages
+from those rings in an order that every other learner with the same
+subscriptions reproduces exactly.  The paper's rule (Section 4): deliver the
+messages decided in ``M`` consensus instances from the first ring (lowest
+ring id), then ``M`` instances from the second ring, and so on, wrapping
+around.
+
+Skip instances (proposed by rate leveling) count towards the ``M`` instances
+of their ring but deliver nothing to the application — they exist precisely so
+that an idle ring does not stall the round-robin.
+
+:class:`DeterministicMerger` consumes per-ring streams of *ordered* decided
+instances (produced by :class:`repro.ringpaxos.learner.RingLearner`) and emits
+application deliveries.  It is a pure data structure, which makes the ordering
+property easy to test: any interleaving of `offer()` calls produces the same
+delivery sequence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..paxos.messages import ProposalValue
+from ..ringpaxos.coordinator import PackedValues
+
+__all__ = ["DeterministicMerger"]
+
+DeliverCallback = Callable[[int, int, ProposalValue], None]
+
+
+class DeterministicMerger:
+    """Round-robin merge over the rings a learner subscribes to.
+
+    Parameters
+    ----------
+    group_ids:
+        The rings/groups this learner subscribes to.  Order does not matter;
+        the merge always iterates them in ascending id order as the paper
+        prescribes.
+    messages_per_round:
+        The ``M`` parameter: consensus instances consumed from one ring before
+        moving to the next.
+    on_deliver:
+        Callback ``(group_id, instance, value)`` invoked for every delivered
+        application message (skips are consumed silently).  Values packed into
+        one instance by coordinator batching are unpacked and delivered
+        individually, preserving their order inside the batch.
+    """
+
+    def __init__(
+        self,
+        group_ids: Sequence[int],
+        messages_per_round: int = 1,
+        on_deliver: Optional[DeliverCallback] = None,
+    ) -> None:
+        if not group_ids:
+            raise ValueError("a merger needs at least one group")
+        if messages_per_round < 1:
+            raise ValueError("M (messages_per_round) must be >= 1")
+        self._groups: List[int] = sorted(set(group_ids))
+        self._m = messages_per_round
+        self._on_deliver = on_deliver or (lambda *args: None)
+        self._queues: Dict[int, Deque[Tuple[int, ProposalValue]]] = {
+            g: deque() for g in self._groups
+        }
+        self._current_index = 0
+        self._consumed_in_round = 0
+        self._delivered = 0
+        self._skipped = 0
+
+    # ---------------------------------------------------------------- inputs
+    def offer(self, group_id: int, instance: int, value: ProposalValue) -> None:
+        """Feed the next ordered instance of ``group_id`` into the merge."""
+        if group_id not in self._queues:
+            raise KeyError(f"not subscribed to group {group_id}")
+        self._queues[group_id].append((instance, value))
+        self._advance()
+
+    def subscribe(self, group_id: int) -> None:
+        """Add a subscription (takes effect for subsequent rounds)."""
+        if group_id not in self._queues:
+            self._queues[group_id] = deque()
+            self._groups = sorted(self._queues)
+            # Restart the round pointer deterministically.
+            self._current_index = 0
+            self._consumed_in_round = 0
+
+    # -------------------------------------------------------------- merging
+    def _advance(self) -> None:
+        """Deliver as much as possible while the current ring has input."""
+        while True:
+            group = self._groups[self._current_index]
+            queue = self._queues[group]
+            if not queue:
+                return
+            instance, value = queue.popleft()
+            self._emit(group, instance, value)
+            self._consumed_in_round += 1
+            if self._consumed_in_round >= self._m:
+                self._consumed_in_round = 0
+                self._current_index = (self._current_index + 1) % len(self._groups)
+
+    def _emit(self, group: int, instance: int, value: ProposalValue) -> None:
+        if value.is_skip():
+            self._skipped += 1
+            return
+        if isinstance(value.payload, PackedValues):
+            for packed in value.payload:
+                self._delivered += 1
+                self._on_deliver(group, instance, packed)
+            return
+        self._delivered += 1
+        self._on_deliver(group, instance, value)
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def delivered_count(self) -> int:
+        """Application messages delivered so far (skips excluded)."""
+        return self._delivered
+
+    @property
+    def skipped_count(self) -> int:
+        """Skip instances consumed so far."""
+        return self._skipped
+
+    @property
+    def groups(self) -> List[int]:
+        """Subscribed group ids in merge order."""
+        return list(self._groups)
+
+    @property
+    def current_group(self) -> int:
+        """The group the merge is currently consuming from."""
+        return self._groups[self._current_index]
+
+    def pending(self, group_id: int) -> int:
+        """Instances queued for ``group_id`` not yet consumed by the merge."""
+        return len(self._queues[group_id])
+
+    def is_round_boundary(self) -> bool:
+        """Whether the merge sits exactly at the start of a round.
+
+        Replicas take checkpoints at round boundaries so that the merge
+        position after installing a checkpoint is unambiguous (see
+        :mod:`repro.recovery.checkpointing`).
+        """
+        return self._current_index == 0 and self._consumed_in_round == 0
+
+    def fast_forward(self, group_positions: Dict[int, int]) -> None:
+        """Reset the merge after a checkpoint install.
+
+        ``group_positions`` maps each group to the highest instance already
+        reflected in the installed checkpoint; queued entries at or below that
+        position are dropped and the round-robin pointer is reset to the start
+        of a round (checkpoints are only taken at round boundaries).
+        """
+        for group, up_to in group_positions.items():
+            if group not in self._queues:
+                continue
+            queue = self._queues[group]
+            while queue and queue[0][0] <= up_to:
+                queue.popleft()
+        self._current_index = 0
+        self._consumed_in_round = 0

@@ -1,0 +1,186 @@
+"""A process participating in Multi-Ring Paxos.
+
+:class:`MultiRingProcess` is the actor every Multi-Ring Paxos participant
+derives from.  It can join any number of rings in any combination of roles;
+when it is a learner of several rings it owns a deterministic merger that
+interleaves the rings' decided instances into a single delivery sequence
+(Section 4).  Subclasses — the dummy-service learner used for the baseline
+experiments, the MRP-Store replica, the dLog replica — override
+:meth:`on_deliver` to execute delivered commands and
+:meth:`on_service_message` to handle their own client protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..net.ring import RingOverlay
+from ..paxos.messages import ProposalValue, TrimQuery, TrimReport
+from ..ringpaxos.node import RingNode, RingNodeConfig
+from ..sim.actor import Actor, Environment
+from ..sim.disk import Disk
+from .merge import DeterministicMerger
+
+__all__ = ["MultiRingProcess"]
+
+
+class MultiRingProcess(Actor):
+    """Actor hosting one :class:`~repro.ringpaxos.node.RingNode` per ring.
+
+    Parameters
+    ----------
+    env, name, site:
+        Standard actor arguments.
+    messages_per_round:
+        The deterministic-merge parameter ``M`` used when this process
+        subscribes (as learner) to more than zero rings.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        site: str = "dc1",
+        messages_per_round: int = 1,
+    ) -> None:
+        super().__init__(env, name, site)
+        self._messages_per_round = messages_per_round
+        self._nodes: Dict[int, RingNode] = {}
+        self._node_disks: Dict[int, Optional[Disk]] = {}
+        self._merger: Optional[DeterministicMerger] = None
+        self._delivered_per_group: Dict[int, int] = {}
+
+    # ----------------------------------------------------------------- rings
+    def join_ring(
+        self,
+        overlay: RingOverlay,
+        config: Optional[RingNodeConfig] = None,
+        disk: Optional[Disk] = None,
+    ) -> RingNode:
+        """Become a member of ``overlay`` with the roles it assigns to us."""
+        if overlay.ring_id in self._nodes:
+            raise ValueError(f"{self.name} already joined ring {overlay.ring_id}")
+        node = RingNode(
+            host=self,
+            overlay=overlay,
+            config=config,
+            on_deliver=self._on_ring_ordered,
+            disk=disk,
+        )
+        self._nodes[overlay.ring_id] = node
+        self._node_disks[overlay.ring_id] = disk
+        if node.is_learner:
+            if self._merger is None:
+                self._merger = DeterministicMerger(
+                    [overlay.ring_id],
+                    messages_per_round=self._messages_per_round,
+                    on_deliver=self._deliver,
+                )
+            else:
+                self._merger.subscribe(overlay.ring_id)
+        return node
+
+    def node(self, ring_id: int) -> RingNode:
+        """The ring node for ``ring_id``."""
+        return self._nodes[ring_id]
+
+    def ring_ids(self) -> List[int]:
+        """Rings this process participates in (sorted)."""
+        return sorted(self._nodes)
+
+    def subscribed_groups(self) -> List[int]:
+        """Rings this process learns from (sorted) — its group subscriptions."""
+        return sorted(r for r, n in self._nodes.items() if n.is_learner)
+
+    @property
+    def merger(self) -> Optional[DeterministicMerger]:
+        """The deterministic merger (``None`` for non-learners)."""
+        return self._merger
+
+    # ----------------------------------------------------------------- start
+    def on_start(self) -> None:
+        """Start every ring node (Phase 1 pre-execution, timers)."""
+        for node in self._nodes.values():
+            node.start()
+
+    # ------------------------------------------------------------- multicast
+    def multicast(self, group_id: int, payload: Any, size_bytes: int) -> ProposalValue:
+        """Atomically multicast ``payload`` to group ``group_id``.
+
+        The process must be a proposer in the corresponding ring; learners of
+        the group deliver the payload through :meth:`on_deliver`.
+        """
+        if group_id not in self._nodes:
+            raise KeyError(f"{self.name} is not a member of ring/group {group_id}")
+        return self._nodes[group_id].propose(payload, size_bytes)
+
+    # -------------------------------------------------------------- delivery
+    def _on_ring_ordered(self, ring_id: int, instance: int, value: ProposalValue) -> None:
+        """Ordered per-ring output from a ring learner, fed to the merger."""
+        if self._merger is None:
+            return
+        self._merger.offer(ring_id, instance, value)
+
+    def _deliver(self, group_id: int, instance: int, value: ProposalValue) -> None:
+        self._delivered_per_group[group_id] = instance
+        self.on_deliver(group_id, instance, value)
+
+    def on_deliver(self, group_id: int, instance: int, value: ProposalValue) -> None:
+        """Application delivery hook (override in services)."""
+
+    def delivered_position(self, group_id: int) -> int:
+        """Highest instance of ``group_id`` delivered to the application (-1 if none)."""
+        return self._delivered_per_group.get(group_id, -1)
+
+    # -------------------------------------------------------------- messages
+    def on_message(self, sender: str, message: Any) -> None:
+        ring_id = getattr(message, "ring_id", None)
+        if ring_id is not None and ring_id in self._nodes:
+            if isinstance(message, TrimQuery):
+                self._answer_trim_query(sender, message)
+                return
+            if self._nodes[ring_id].handle(sender, message):
+                return
+        self.on_service_message(sender, message)
+
+    def on_service_message(self, sender: str, message: Any) -> None:
+        """Hook for non-ring messages (client requests, recovery traffic)."""
+
+    # ------------------------------------------------------------------ trim
+    def _answer_trim_query(self, sender: str, message: TrimQuery) -> None:
+        safe = self.safe_instance_for(message.ring_id)
+        self.send(
+            sender,
+            TrimReport(ring_id=message.ring_id, replica=self.name, safe_instance=safe),
+        )
+
+    def safe_instance_for(self, group_id: int) -> int:
+        """Highest instance of ``group_id`` whose effects are checkpointed.
+
+        The default implementation reports nothing checkpointed (``-1``),
+        which keeps acceptors from trimming; replicas with a checkpointer
+        override this (see :class:`repro.core.smr.StateMachineReplica`).
+        """
+        return -1
+
+    # --------------------------------------------------------- crash/restart
+    def on_crash(self) -> None:
+        for node in self._nodes.values():
+            node.crash()
+
+    def on_restart(self) -> None:
+        """Reset volatile ordering state; durable state is recovered elsewhere."""
+        self._delivered_per_group.clear()
+        learner_rings = [r for r, n in self._nodes.items() if n.is_learner]
+        if learner_rings:
+            self._merger = DeterministicMerger(
+                learner_rings,
+                messages_per_round=self._messages_per_round,
+                on_deliver=self._deliver,
+            )
+        for node in self._nodes.values():
+            node.recover()
+            if node.is_learner:
+                node.learner = type(node.learner)(node.ring_id, self._on_ring_ordered)
+        for node in self._nodes.values():
+            node.start()

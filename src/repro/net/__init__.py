@@ -1,0 +1,14 @@
+"""Networking primitives: message base types and the ring overlay."""
+
+from .message import Batch, ClientRequest, ClientResponse, Message, next_message_id
+from .ring import RingMember, RingOverlay
+
+__all__ = [
+    "Batch",
+    "ClientRequest",
+    "ClientResponse",
+    "Message",
+    "next_message_id",
+    "RingMember",
+    "RingOverlay",
+]

@@ -1,0 +1,42 @@
+"""Consensus core: Paxos instance rules, acceptor state and protocol messages."""
+
+from .acceptor import AcceptorState
+from .instance import Accepted, AcceptorInstance, InstanceLedger, Promise
+from .messages import (
+    SKIP,
+    CheckpointReply,
+    CheckpointRequest,
+    Decision,
+    Phase1A,
+    Phase1B,
+    Phase2Ring,
+    ProposalValue,
+    RetransmitReply,
+    RetransmitRequest,
+    TrimCommand,
+    TrimQuery,
+    TrimReport,
+    ValueForward,
+)
+
+__all__ = [
+    "AcceptorState",
+    "Accepted",
+    "AcceptorInstance",
+    "InstanceLedger",
+    "Promise",
+    "SKIP",
+    "CheckpointReply",
+    "CheckpointRequest",
+    "Decision",
+    "Phase1A",
+    "Phase1B",
+    "Phase2Ring",
+    "ProposalValue",
+    "RetransmitReply",
+    "RetransmitRequest",
+    "TrimCommand",
+    "TrimQuery",
+    "TrimReport",
+    "ValueForward",
+]

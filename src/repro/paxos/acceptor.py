@@ -1,0 +1,270 @@
+"""Acceptor-side state: instances, durable log and retransmission service.
+
+An acceptor in Ring Paxos must log its Phase 1B / Phase 2B responses to stable
+storage before replying (Section 5.1) so that it can serve retransmission
+requests from recovering replicas.  :class:`AcceptorState` bundles:
+
+* the per-instance Paxos state (:class:`~repro.paxos.instance.AcceptorInstance`),
+* the write-ahead log charging the configured storage mode,
+* the bounded in-memory slot buffer of decided values used to serve
+  retransmissions quickly,
+* trimming, driven by the coordinator's :class:`~repro.paxos.messages.TrimCommand`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..sim.actor import Environment
+from ..sim.disk import Disk, StorageMode
+from ..storage.slots import SlotBuffer, SlotFullError
+from ..storage.wal import WriteAheadLog
+from .instance import Accepted, AcceptorInstance, Promise
+from .messages import ProposalValue
+
+__all__ = ["AcceptorState"]
+
+
+class AcceptorState:
+    """All consensus state owned by one acceptor for one ring."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        ring_id: int,
+        storage_mode: StorageMode = StorageMode.IN_MEMORY,
+        slot_count: int = SlotBuffer.DEFAULT_SLOTS,
+        disk: Optional[Disk] = None,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.ring_id = ring_id
+        self.storage_mode = storage_mode
+        self.log = WriteAheadLog(
+            env, mode=storage_mode, name=f"{name}.r{ring_id}.wal", disk=disk
+        )
+        self.slots = SlotBuffer(slot_count=slot_count)
+        self._instances: Dict[int, AcceptorInstance] = {}
+        self._decided: Dict[int, ProposalValue] = {}
+        self._trimmed_up_to = -1
+        #: ballot promised for every instance not yet individually touched —
+        #: this is how Phase 1 pre-execution over a huge window (2^20
+        #: instances, Section 4) is represented without materialising
+        #: per-instance state.
+        self._range_promised = -1
+
+    # -------------------------------------------------------------- instances
+    def _instance(self, instance: int) -> AcceptorInstance:
+        if instance not in self._instances:
+            created = AcceptorInstance(instance)
+            created.promised_ballot = self._range_promised
+            self._instances[instance] = created
+        return self._instances[instance]
+
+    def promised_ballot(self, instance: int) -> int:
+        """Highest ballot promised for ``instance`` (-1 when untouched)."""
+        inst = self._instances.get(instance)
+        return inst.promised_ballot if inst else self._range_promised
+
+    # ---------------------------------------------------------------- phase 1
+    def receive_phase1a(self, from_instance: int, to_instance: int, ballot: int) -> bool:
+        """Pre-execute Phase 1 for a window of instances.
+
+        The promise covers the whole window at once (the coordinator
+        pre-executes Phase 1 for 2^20 instances, so per-instance bookkeeping
+        would be prohibitive); instances that already hold individual state
+        are promoted individually.  Returns whether the promise was granted.
+        """
+        if ballot <= self._range_promised:
+            return False
+        self._range_promised = ballot
+        granted = True
+        for instance, state in self._instances.items():
+            if from_instance <= instance <= to_instance:
+                state.receive_phase1a(ballot)
+        return granted
+
+    # ---------------------------------------------------------------- phase 2
+    def receive_phase2(
+        self,
+        instance: int,
+        ballot: int,
+        value: ProposalValue,
+        on_durable: Optional[Callable[[], None]] = None,
+    ) -> Accepted:
+        """Vote on ``value`` for ``instance`` and log the vote.
+
+        The durable-write callback fires when the vote is on stable storage;
+        with synchronous storage the caller must defer forwarding its Phase 2B
+        until then (this is what puts the device on the critical path).
+        """
+        if instance <= self._trimmed_up_to:
+            # The instance was already trimmed; it is necessarily decided, so
+            # refuse the vote — recovering replicas must use checkpoints.
+            return Accepted(accepted=False, ballot=ballot)
+        result = self._instance(instance).receive_phase2a(ballot, value)
+        if result.accepted and not value.is_skip():
+            self.log.append(
+                instance=instance,
+                ballot=ballot,
+                value=value,
+                size_bytes=value.size_bytes,
+                on_durable=on_durable,
+            )
+        elif on_durable is not None:
+            # Skip votes carry no application data, so they never sit on the
+            # synchronous-durability critical path.
+            self.env.simulator.schedule(0.0, on_durable)
+        return result
+
+    def receive_phase2_range(
+        self,
+        from_instance: int,
+        to_instance: int,
+        ballot: int,
+        value: ProposalValue,
+        on_durable: Optional[Callable[[], None]] = None,
+    ) -> bool:
+        """Vote on a contiguous range of instances sharing one value.
+
+        Used for skip ranges (rate leveling): the coordinator proposes one
+        message that skips many instances, and the acceptor logs a single
+        small record for the whole range.  Returns ``True`` when every
+        instance in the range was accepted.
+        """
+        all_accepted = True
+        for instance in range(from_instance, to_instance + 1):
+            if instance <= self._trimmed_up_to:
+                all_accepted = False
+                continue
+            result = self._instance(instance).receive_phase2a(ballot, value)
+            all_accepted = all_accepted and result.accepted
+        if all_accepted and not value.is_skip():
+            self.log.append(
+                instance=to_instance,
+                ballot=ballot,
+                value=value,
+                size_bytes=value.size_bytes,
+                on_durable=on_durable,
+            )
+        elif on_durable is not None:
+            # Skip ranges (rate leveling) never wait for the device: they
+            # carry no application payload that could be lost.
+            self.env.simulator.schedule(0.0, on_durable)
+        return all_accepted
+
+    def accepted_value(self, instance: int) -> Optional[ProposalValue]:
+        """Value this acceptor voted for in ``instance`` (``None`` if none)."""
+        inst = self._instances.get(instance)
+        return inst.accepted_value if inst else None
+
+    def accepted_in_range(self, from_instance: int, to_instance: int) -> List[Tuple[int, int, ProposalValue]]:
+        """``(instance, ballot, value)`` triples this acceptor voted for in the range.
+
+        Reported back in Phase 1B so that a new coordinator learns which
+        instances were already used and does not reuse their numbers.
+        """
+        return [
+            (i, inst.accepted_ballot, inst.accepted_value)
+            for i, inst in sorted(self._instances.items())
+            if from_instance <= i <= to_instance and inst.has_accepted
+        ]
+
+    # --------------------------------------------------------------- decisions
+    def record_decision(self, instance: int, value: ProposalValue) -> None:
+        """Remember a decided value so it can be retransmitted later."""
+        if instance <= self._trimmed_up_to:
+            return
+        self._decided[instance] = value
+        if not value.is_skip():
+            try:
+                self.slots.put(instance, value, value.size_bytes)
+            except SlotFullError:
+                # The buffer is full: the value stays only in the WAL (or is
+                # lost for in-memory mode).  Retransmission falls back to the
+                # log, mirroring the real system's back-pressure behaviour.
+                pass
+
+    def is_decided(self, instance: int) -> bool:
+        """Whether this acceptor knows the decision of ``instance``."""
+        return instance in self._decided
+
+    def decided_between(self, from_instance: int, to_instance: int) -> List[Tuple[int, ProposalValue]]:
+        """Decided ``(instance, value)`` pairs in the closed range requested.
+
+        Used to serve :class:`~repro.paxos.messages.RetransmitRequest`s from
+        recovering replicas; instances already trimmed are not returned.
+        """
+        out = []
+        for instance in range(max(from_instance, self._trimmed_up_to + 1), to_instance + 1):
+            value = self._decided.get(instance)
+            if value is not None:
+                out.append((instance, value))
+        return out
+
+    def decided_from(self, from_instance: int) -> List[Tuple[int, ProposalValue]]:
+        """Every decided ``(instance, value)`` at or after ``from_instance``.
+
+        Unlike :meth:`decided_between` this does not need an upper bound, so a
+        recovering replica that does not know the current highest instance can
+        simply ask for "everything newer than my checkpoint".
+        """
+        return [
+            (instance, self._decided[instance])
+            for instance in sorted(self._decided)
+            if instance >= from_instance
+        ]
+
+    @property
+    def highest_decided(self) -> int:
+        """Highest instance this acceptor saw a decision for (-1 when none)."""
+        return max(self._decided) if self._decided else -1
+
+    # ------------------------------------------------------------------- trim
+    def trim(self, up_to_instance: int) -> int:
+        """Discard state for all instances up to ``up_to_instance``."""
+        if up_to_instance <= self._trimmed_up_to:
+            return 0
+        removed = 0
+        removed += self.log.trim(up_to_instance)
+        self.slots.trim(up_to_instance)
+        for container in (self._decided, self._instances):
+            stale = [i for i in container if i <= up_to_instance]
+            for i in stale:
+                del container[i]
+            removed += len(stale)
+        self._trimmed_up_to = up_to_instance
+        return removed
+
+    @property
+    def trimmed_up_to(self) -> int:
+        """Highest instance removed by trimming (-1 when never trimmed)."""
+        return self._trimmed_up_to
+
+    # ------------------------------------------------------------------ crash
+    def crash(self) -> None:
+        """Lose volatile state; the WAL keeps whatever its mode guarantees."""
+        self.log.crash()
+        self.slots.clear()
+        self._instances.clear()
+        self._decided.clear()
+
+    def recover_from_log(self) -> int:
+        """Rebuild accepted-value state from the durable log after a crash.
+
+        Returns the number of instances restored.  Only votes, not decisions,
+        are recoverable this way — decisions are re-learned from the ring or
+        not needed because the instance was trimmed.
+        """
+        restored = 0
+        for instance in self.log.instances():
+            record = self.log.get(instance)
+            if record is None:
+                continue
+            inst = self._instance(instance)
+            inst.promised_ballot = record.ballot
+            inst.accepted_ballot = record.ballot
+            inst.accepted_value = record.value
+            restored += 1
+        return restored

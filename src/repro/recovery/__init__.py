@@ -1,0 +1,14 @@
+"""Recovery protocol: checkpointing, quorum-based log trimming, replica recovery."""
+
+from .checkpointing import ReplicaCheckpointer
+from .recover import RecoveryManager, RecoveryPhase
+from .trim import compute_trim_point, predicates_hold, trim_quorum_size
+
+__all__ = [
+    "ReplicaCheckpointer",
+    "RecoveryManager",
+    "RecoveryPhase",
+    "compute_trim_point",
+    "predicates_hold",
+    "trim_quorum_size",
+]

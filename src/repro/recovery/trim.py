@@ -1,0 +1,75 @@
+"""Coordinator-driven acceptor log trimming (Section 5.2).
+
+Periodically the coordinator of multicast group ``x`` asks the replicas that
+subscribe to ``x`` for the highest consensus instance each has safely
+checkpointed (``k[x]_p``).  After collecting a *trim quorum* ``Q_T`` of
+answers it computes
+
+    K[x]_T = min over the quorum of k[x]_p          (Predicate 2)
+
+and instructs the acceptors of ring ``x`` to delete data about every instance
+up to ``K[x]_T``.  Taking the minimum over a quorum — rather than, say, the
+maximum — is what makes recovery safe: combined with the requirement that the
+recovery quorum ``Q_R`` intersects ``Q_T``, a recovering replica that picks
+the most recent checkpoint available in ``Q_R`` is guaranteed the acceptors
+still hold every instance the checkpoint is missing (Predicates 3-5).
+
+The message exchange lives in :class:`repro.ringpaxos.node.RingNode`; this
+module holds the pure quorum computation so it can be property-tested against
+the predicates directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+__all__ = ["compute_trim_point", "trim_quorum_size", "predicates_hold"]
+
+
+def trim_quorum_size(replica_count: int) -> int:
+    """Default trim quorum: a majority of the group's replicas."""
+    if replica_count <= 0:
+        raise ValueError("replica_count must be positive")
+    return replica_count // 2 + 1
+
+
+def compute_trim_point(reports: Mapping[str, int], quorum: int) -> Optional[int]:
+    """``K[x]_T`` from the collected ``k[x]_p`` reports, or ``None`` if below quorum.
+
+    Parameters
+    ----------
+    reports:
+        ``{replica_name: safe_instance}`` as received so far.
+    quorum:
+        The trim quorum size ``|Q_T|``.
+    """
+    if quorum <= 0:
+        raise ValueError("quorum must be positive")
+    if len(reports) < quorum:
+        return None
+    trim_point = min(reports.values())
+    if trim_point < 0:
+        return None
+    return trim_point
+
+
+def predicates_hold(
+    trim_quorum: Mapping[str, int],
+    recovery_quorum: Mapping[str, int],
+) -> bool:
+    """Check Predicate 5 (``K_T <= K_R``) for one group given the two quorums.
+
+    ``trim_quorum`` maps replica name to the ``k[x]_p`` it reported when the
+    coordinator trimmed; ``recovery_quorum`` maps replica name to the
+    checkpointed instance it offered to the recovering replica.  When the two
+    quorums intersect, the trim point (min over ``Q_T``) cannot exceed the best
+    checkpoint available in ``Q_R`` (max over ``Q_R``) — which is exactly what
+    guarantees the recovering replica can fetch everything newer than its
+    chosen checkpoint from the acceptors.
+    """
+    if not trim_quorum or not recovery_quorum:
+        return True
+    if not set(trim_quorum) & set(recovery_quorum):
+        # The guarantee only holds for intersecting quorums.
+        raise ValueError("trim and recovery quorums do not intersect")
+    return min(trim_quorum.values()) <= max(recovery_quorum.values())

@@ -1,0 +1,14 @@
+"""Ring Paxos: atomic broadcast over a TCP ring overlay (one multicast group)."""
+
+from .coordinator import CoordinatorState, InstanceBatchPolicy, PackedValues
+from .learner import RingLearner
+from .node import RingNode, RingNodeConfig
+
+__all__ = [
+    "CoordinatorState",
+    "InstanceBatchPolicy",
+    "PackedValues",
+    "RingLearner",
+    "RingNode",
+    "RingNodeConfig",
+]

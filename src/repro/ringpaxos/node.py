@@ -1,0 +1,511 @@
+"""Per-ring protocol engine hosted by a process.
+
+A process that participates in a ring — whatever combination of proposer,
+acceptor and learner roles it plays — owns one :class:`RingNode` per ring.
+The node implements the Ring Paxos message flow of Section 4:
+
+1. a proposed value is forwarded hop by hop along the ring until it reaches
+   the coordinator;
+2. the coordinator assigns it a consensus instance and emits a combined
+   Phase 2A/2B message containing its own vote;
+3. every acceptor on the way adds its vote (logging it to stable storage
+   first, synchronously or asynchronously depending on the configured storage
+   mode) and forwards the message to its successor; non-acceptors just
+   forward;
+4. the *last* acceptor in the ring (walking from the coordinator) observes a
+   majority of votes and replaces the Phase 2 message with a Decision, which
+   keeps circulating so every process receives it; the decision carries the
+   value only on the stretch of the ring that has not seen the Phase 2
+   message yet, so the value crosses each link exactly once;
+5. learners deliver the value once they have both the value and its decision,
+   in instance order.
+
+The node additionally implements rate leveling (skip instances), the
+acceptor-side retransmission service and the coordinator-driven log trimming
+used by recovery (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..net.ring import RingOverlay
+from ..paxos.acceptor import AcceptorState
+from ..paxos.messages import (
+    Decision,
+    Phase1A,
+    Phase1B,
+    Phase2Ring,
+    ProposalValue,
+    RetransmitReply,
+    RetransmitRequest,
+    TrimCommand,
+    TrimQuery,
+    TrimReport,
+    ValueForward,
+)
+from ..sim.actor import Actor
+from ..sim.cpu import CpuCostModel
+from ..sim.disk import Disk, StorageMode
+from .coordinator import CoordinatorState, InstanceBatchPolicy
+from .learner import RingLearner
+
+__all__ = ["RingNode", "RingNodeConfig"]
+
+
+@dataclass
+class RingNodeConfig:
+    """Per-ring configuration shared by all members of the ring.
+
+    Attributes
+    ----------
+    storage_mode:
+        Acceptor stable-storage mode (Figure 3's five modes).
+    cpu_model:
+        CPU cost charged per message/byte handled.
+    batch_policy:
+        Coordinator instance batching.
+    rate_interval:
+        The Δ interval of rate leveling; ``None`` disables skip proposals.
+    rate_policy:
+        Object exposing ``expected_per_interval`` (instances per Δ), usually a
+        :class:`repro.multiring.ratelevel.RateLeveler`.
+    trim_interval:
+        Period of the coordinator's trim protocol; ``None`` disables trimming.
+    trim_quorum:
+        Number of replica answers the coordinator waits for before trimming
+        (the paper's quorum ``Q_T``); ``None`` means a majority of learners.
+    """
+
+    storage_mode: StorageMode = StorageMode.IN_MEMORY
+    cpu_model: CpuCostModel = None  # type: ignore[assignment]
+    batch_policy: InstanceBatchPolicy = None  # type: ignore[assignment]
+    rate_interval: Optional[float] = None
+    rate_policy: Optional[Any] = None
+    trim_interval: Optional[float] = None
+    trim_quorum: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.cpu_model is None:
+            self.cpu_model = CpuCostModel()
+        if self.batch_policy is None:
+            self.batch_policy = InstanceBatchPolicy()
+
+
+class RingNode:
+    """Protocol state of one process within one ring."""
+
+    def __init__(
+        self,
+        host: Actor,
+        overlay: RingOverlay,
+        config: Optional[RingNodeConfig] = None,
+        on_deliver: Optional[Callable[[int, int, ProposalValue], None]] = None,
+        disk: Optional[Disk] = None,
+    ) -> None:
+        if host.name not in overlay:
+            raise ValueError(f"{host.name} is not a member of ring {overlay.ring_id}")
+        self.host = host
+        self.overlay = overlay
+        self.config = config or RingNodeConfig()
+        member = overlay.member(host.name)
+        self.is_proposer = member.proposer
+        self.is_acceptor = member.acceptor
+        self.is_learner = member.learner
+
+        self.acceptor: Optional[AcceptorState] = None
+        if self.is_acceptor:
+            self.acceptor = AcceptorState(
+                host.env,
+                host.name,
+                overlay.ring_id,
+                storage_mode=self.config.storage_mode,
+                disk=disk,
+            )
+
+        self.learner: Optional[RingLearner] = None
+        if self.is_learner:
+            self.learner = RingLearner(overlay.ring_id, on_deliver or (lambda *a: None))
+
+        self.coordinator: Optional[CoordinatorState] = None
+        self._trim_reports: Dict[str, int] = {}
+        if self.is_coordinator:
+            self.coordinator = CoordinatorState(
+                overlay.ring_id,
+                batch_policy=self.config.batch_policy,
+                rate_policy=self.config.rate_policy,
+            )
+
+        self._started = False
+        self._proposal_seq = 0
+
+    # ------------------------------------------------------------ properties
+    @property
+    def ring_id(self) -> int:
+        """Identifier of the ring this node belongs to."""
+        return self.overlay.ring_id
+
+    @property
+    def is_coordinator(self) -> bool:
+        """Whether this process currently coordinates the ring."""
+        return self.overlay.coordinator == self.host.name
+
+    @property
+    def last_acceptor(self) -> str:
+        """The acceptor that converts Phase 2 messages into decisions."""
+        return self.overlay.last_acceptor_for(self.overlay.coordinator)
+
+    # ----------------------------------------------------------------- start
+    def start(self) -> None:
+        """Run startup duties (Phase 1 pre-execution, periodic timers)."""
+        if self._started:
+            return
+        self._started = True
+        if self.is_coordinator:
+            self._start_phase1()
+            if self.config.rate_interval is not None and self.config.rate_policy is not None:
+                self.host.set_periodic_timer(self.config.rate_interval, self._rate_level_tick)
+            if self.config.trim_interval is not None:
+                self.host.set_periodic_timer(self.config.trim_interval, self._trim_tick)
+
+    def _start_phase1(self) -> None:
+        assert self.coordinator is not None
+        lo, hi = self.coordinator.phase1_window()
+        for acceptor in self.overlay.acceptors:
+            if acceptor == self.host.name:
+                # The coordinator promises to itself immediately.
+                self.coordinator.record_promise(acceptor, self.overlay.majority())
+                continue
+            self.host.send(
+                acceptor,
+                Phase1A(
+                    ring_id=self.ring_id,
+                    ballot=self.coordinator.ballot,
+                    from_instance=lo,
+                    to_instance=hi,
+                ),
+            )
+
+    # --------------------------------------------------------------- propose
+    def propose(self, payload: Any, size_bytes: int, created_at: Optional[float] = None) -> ProposalValue:
+        """Multicast ``payload`` to this ring (atomically broadcast within it).
+
+        The value travels along the ring towards the coordinator; the caller
+        learns the outcome through its learner's delivery callback.
+        """
+        if not self.is_proposer:
+            raise RuntimeError(f"{self.host.name} is not a proposer in ring {self.ring_id}")
+        self._proposal_seq += 1
+        value = ProposalValue(
+            payload=payload,
+            size_bytes=size_bytes,
+            proposer=self.host.name,
+            proposal_id=self._proposal_seq,
+            created_at=self.host.now if created_at is None else created_at,
+        )
+        if self.is_coordinator:
+            self._coordinator_enqueue(value)
+        else:
+            self._forward_towards_coordinator(ValueForward(ring_id=self.ring_id, value=value))
+        return value
+
+    def _forward_towards_coordinator(self, message: ValueForward) -> None:
+        self.host.send(self.overlay.successor(self.host.name), message)
+
+    # ------------------------------------------------------------- dispatch
+    def handle(self, sender: str, message: Any) -> bool:
+        """Process a ring message; returns ``False`` if the type is unknown."""
+        self._charge_cpu(message)
+        if isinstance(message, ValueForward):
+            self._handle_value_forward(message)
+        elif isinstance(message, Phase1A):
+            self._handle_phase1a(sender, message)
+        elif isinstance(message, Phase1B):
+            self._handle_phase1b(message)
+        elif isinstance(message, Phase2Ring):
+            self._handle_phase2(message)
+        elif isinstance(message, Decision):
+            self._handle_decision(message)
+        elif isinstance(message, RetransmitRequest):
+            self._handle_retransmit_request(message)
+        elif isinstance(message, TrimQuery):
+            return False  # answered by the replica layer, not the ring node
+        elif isinstance(message, TrimReport):
+            self._handle_trim_report(message)
+        elif isinstance(message, TrimCommand):
+            self._handle_trim_command(message)
+        else:
+            return False
+        return True
+
+    def _charge_cpu(self, message: Any) -> None:
+        size = getattr(message, "size_bytes", 0)
+        self.host.cpu.charge_message(self.config.cpu_model, size)
+
+    # ------------------------------------------------------- value forwarding
+    def _handle_value_forward(self, message: ValueForward) -> None:
+        if self.is_coordinator:
+            assert message.value is not None
+            self._coordinator_enqueue(message.value)
+        else:
+            self._forward_towards_coordinator(message)
+
+    def _coordinator_enqueue(self, value: ProposalValue) -> None:
+        assert self.coordinator is not None
+        self.coordinator.enqueue(value)
+        self._flush_assignments()
+
+    def _flush_assignments(self) -> None:
+        assert self.coordinator is not None
+        for instance, value in self.coordinator.next_assignments():
+            self._emit_phase2(instance, value, span=1)
+
+    def _emit_phase2(self, instance: int, value: ProposalValue, span: int) -> None:
+        """Vote locally (the coordinator is an acceptor) then send Phase 2."""
+        assert self.coordinator is not None
+        message = Phase2Ring(
+            ring_id=self.ring_id,
+            instance=instance,
+            ballot=self.coordinator.ballot,
+            value=value,
+            votes=(self.host.name,),
+            origin=self.host.name,
+            span=span,
+        )
+        if self.is_learner and self.learner is not None:
+            for i in range(instance, instance + span):
+                self.learner.observe_value(i, value)
+        assert self.acceptor is not None
+
+        def after_durable() -> None:
+            self._after_own_vote(message)
+
+        if span == 1:
+            self.acceptor.receive_phase2(instance, message.ballot, value, on_durable=after_durable)
+        else:
+            self.acceptor.receive_phase2_range(
+                instance, message.last_instance, message.ballot, value, on_durable=after_durable
+            )
+
+    def _after_own_vote(self, message: Phase2Ring) -> None:
+        if self.host.name == self.last_acceptor and len(message.votes) >= self.overlay.majority():
+            self._decide(message)
+        else:
+            self._forward_phase2(message)
+
+    # ----------------------------------------------------------------- phase 1
+    def _handle_phase1a(self, sender: str, message: Phase1A) -> None:
+        if not self.is_acceptor or self.acceptor is None:
+            return
+        granted = self.acceptor.receive_phase1a(
+            message.from_instance, message.to_instance, message.ballot
+        )
+        if not granted:
+            return
+        self.host.send(
+            sender,
+            Phase1B(
+                ring_id=self.ring_id,
+                ballot=message.ballot,
+                from_instance=message.from_instance,
+                to_instance=message.to_instance,
+                acceptor=self.host.name,
+                accepted=self.acceptor.accepted_in_range(
+                    message.from_instance, message.to_instance
+                ),
+            ),
+        )
+
+    def _handle_phase1b(self, message: Phase1B) -> None:
+        if not self.is_coordinator or self.coordinator is None:
+            return
+        # A new coordinator must not reuse instance numbers that already hold
+        # accepted values from a previous coordinator's reign.
+        for instance, _ballot, _value in message.accepted:
+            self.coordinator.ledger.observe_instance(instance)
+        ready = self.coordinator.record_promise(message.acceptor, self.overlay.majority())
+        if ready and self.coordinator.has_pending():
+            self._flush_assignments()
+
+    # ----------------------------------------------------------------- phase 2
+    def _handle_phase2(self, message: Phase2Ring) -> None:
+        if self.is_learner and self.learner is not None and message.value is not None:
+            for instance in range(message.instance, message.last_instance + 1):
+                self.learner.observe_value(instance, message.value)
+
+        if self.is_acceptor and self.acceptor is not None and message.value is not None:
+            voted = message.with_vote(self.host.name)
+
+            def after_durable() -> None:
+                self._after_own_vote(voted)
+
+            if message.span == 1:
+                self.acceptor.receive_phase2(
+                    message.instance, message.ballot, message.value, on_durable=after_durable
+                )
+            else:
+                self.acceptor.receive_phase2_range(
+                    message.instance,
+                    message.last_instance,
+                    message.ballot,
+                    message.value,
+                    on_durable=after_durable,
+                )
+        else:
+            self._forward_phase2(message)
+
+    def _forward_phase2(self, message: Phase2Ring) -> None:
+        successor = self.overlay.successor(self.host.name)
+        if successor != message.origin:
+            self.host.send(successor, message)
+
+    # --------------------------------------------------------------- decision
+    def _decide(self, message: Phase2Ring) -> None:
+        """Replace a majority-carrying Phase 2 message by a decision."""
+        decision = Decision(
+            ring_id=self.ring_id,
+            instance=message.instance,
+            value=message.value,
+            origin=self.host.name,
+            carries_value=True,
+            span=message.span,
+        )
+        self._learn_decision(decision)
+        self._forward_decision(decision)
+
+    def _handle_decision(self, message: Decision) -> None:
+        self._learn_decision(message)
+        self._forward_decision(message)
+
+    def _learn_decision(self, message: Decision) -> None:
+        for instance in range(message.instance, message.last_instance + 1):
+            value = message.value
+            if value is None and self.acceptor is not None:
+                value = self.acceptor.accepted_value(instance)
+            if self.is_acceptor and self.acceptor is not None and value is not None:
+                self.acceptor.record_decision(instance, value)
+            if self.is_learner and self.learner is not None:
+                self.learner.observe_decision(instance, value)
+        if self.is_coordinator and self.coordinator is not None:
+            self.coordinator.ledger.observe_instance(message.last_instance)
+
+    def _forward_decision(self, message: Decision) -> None:
+        successor = self.overlay.successor(self.host.name)
+        if successor == message.origin:
+            return
+        outgoing = message
+        if self.host.name == self.overlay.coordinator and message.carries_value:
+            # Past the coordinator the value has already circulated with the
+            # Phase 2 message; stop paying for it on the wire.
+            outgoing = message.without_value()
+        self.host.send(successor, outgoing)
+
+    # ----------------------------------------------------------- rate leveling
+    def _rate_level_tick(self) -> None:
+        if not self.is_coordinator or self.coordinator is None:
+            return
+        if not self.coordinator.phase1_ready:
+            return
+        skips = self.coordinator.skips_for_interval()
+        if skips <= 0:
+            return
+        first, last = self.coordinator.allocate_skips(skips)
+        self._emit_phase2(first, CoordinatorState.skip_value(), span=last - first + 1)
+
+    # ------------------------------------------------------------------- trim
+    def _trim_tick(self) -> None:
+        if not self.is_coordinator:
+            return
+        self._trim_reports.clear()
+        for learner in self.overlay.learners:
+            if learner == self.host.name:
+                continue
+            self.host.send(learner, TrimQuery(ring_id=self.ring_id))
+
+    def _handle_trim_report(self, message: TrimReport) -> None:
+        if not self.is_coordinator:
+            return
+        self._trim_reports[message.replica] = message.safe_instance
+        quorum = self.config.trim_quorum or (len(self.overlay.learners) // 2 + 1)
+        if len(self._trim_reports) < quorum:
+            return
+        safe = min(self._trim_reports.values())
+        if safe < 0:
+            return
+        for acceptor in self.overlay.acceptors:
+            if acceptor == self.host.name and self.acceptor is not None:
+                self.acceptor.trim(safe)
+                continue
+            self.host.send(acceptor, TrimCommand(ring_id=self.ring_id, up_to_instance=safe))
+        self._trim_reports.clear()
+
+    def _handle_trim_command(self, message: TrimCommand) -> None:
+        if self.is_acceptor and self.acceptor is not None:
+            self.acceptor.trim(message.up_to_instance)
+
+    # ---------------------------------------------------------- retransmission
+    def _handle_retransmit_request(self, message: RetransmitRequest) -> None:
+        if not self.is_acceptor or self.acceptor is None:
+            return
+        if message.to_instance < 0:
+            decided = self.acceptor.decided_from(message.from_instance)
+        else:
+            decided = self.acceptor.decided_between(message.from_instance, message.to_instance)
+        self.host.send(
+            message.requester,
+            RetransmitReply(
+                ring_id=self.ring_id,
+                decided=decided,
+                trimmed_up_to=self.acceptor.trimmed_up_to,
+            ),
+        )
+
+    # ------------------------------------------------------------------ crash
+    def crash(self) -> None:
+        """Drop volatile state on a process crash (the WAL keeps its records)."""
+        self._started = False
+        if self.acceptor is not None:
+            self.acceptor.crash()
+
+    def recover(self) -> None:
+        """Rebuild acceptor state from the durable log after a restart."""
+        if self.acceptor is not None:
+            self.acceptor.recover_from_log()
+
+    # -------------------------------------------------------- reconfiguration
+    def update_overlay(self, overlay: RingOverlay) -> None:
+        """Install a new ring configuration (member removed/added or new coordinator).
+
+        If this process becomes the coordinator it creates fresh coordinator
+        state with a ballot derived from the configuration epoch (so it is
+        higher than any ballot of previous coordinators), pre-executes
+        Phase 1 again and starts its periodic duties.
+        """
+        if self.host.name not in overlay:
+            raise ValueError("cannot install an overlay that excludes this process")
+        was_coordinator = self.is_coordinator
+        self.overlay = overlay
+        if self.is_coordinator and (not was_coordinator or self.coordinator is None):
+            self._become_coordinator()
+
+    def _become_coordinator(self) -> None:
+        assert self.is_acceptor, "only an acceptor can coordinate a ring"
+        self.coordinator = CoordinatorState(
+            self.ring_id,
+            ballot=self.overlay.epoch + 1,
+            batch_policy=self.config.batch_policy,
+            rate_policy=self.config.rate_policy,
+        )
+        # Do not reuse instances this process already knows to be in use.
+        if self.learner is not None:
+            self.coordinator.ledger.observe_instance(self.learner.highest_decided)
+        if self.acceptor is not None:
+            self.coordinator.ledger.observe_instance(self.acceptor.highest_decided)
+            self.coordinator.ledger.observe_instance(self.acceptor.log.highest_instance())
+        if self._started:
+            self._start_phase1()
+            if self.config.rate_interval is not None and self.config.rate_policy is not None:
+                self.host.set_periodic_timer(self.config.rate_interval, self._rate_level_tick)
+            if self.config.trim_interval is not None:
+                self.host.set_periodic_timer(self.config.trim_interval, self._trim_tick)

@@ -1,0 +1,55 @@
+"""Discrete-event simulation substrate.
+
+This package replaces the paper's physical testbed.  It provides the event
+kernel (:mod:`repro.sim.kernel`), the actor model (:mod:`repro.sim.actor`),
+the network (:mod:`repro.sim.network`), deployment topologies
+(:mod:`repro.sim.topology`), storage-device models (:mod:`repro.sim.disk`),
+CPU accounting (:mod:`repro.sim.cpu`), measurement instruments
+(:mod:`repro.sim.metrics`) and seeded randomness (:mod:`repro.sim.random`).
+"""
+
+from .actor import Actor, Environment, Timer
+from .cpu import CpuAccount, CpuCostModel
+from .disk import Disk, DiskProfile, HDD_PROFILE, SSD_PROFILE, StorageMode, profile_for_mode
+from .kernel import Event, EventHandle, SimulationError, Simulator, ms, us
+from .metrics import Counter, LatencyRecorder, MetricRegistry, ThroughputTracker, summarize_latencies
+from .network import MessageStats, Network, message_size
+from .random import LatestGenerator, SeededStreams, UniformIntGenerator, ZipfianGenerator
+from .topology import EC2_REGIONS, Site, Topology, ec2_global, single_datacenter
+
+__all__ = [
+    "Actor",
+    "Environment",
+    "Timer",
+    "CpuAccount",
+    "CpuCostModel",
+    "Disk",
+    "DiskProfile",
+    "HDD_PROFILE",
+    "SSD_PROFILE",
+    "StorageMode",
+    "profile_for_mode",
+    "Event",
+    "EventHandle",
+    "SimulationError",
+    "Simulator",
+    "ms",
+    "us",
+    "Counter",
+    "LatencyRecorder",
+    "MetricRegistry",
+    "ThroughputTracker",
+    "summarize_latencies",
+    "MessageStats",
+    "Network",
+    "message_size",
+    "LatestGenerator",
+    "SeededStreams",
+    "UniformIntGenerator",
+    "ZipfianGenerator",
+    "EC2_REGIONS",
+    "Site",
+    "Topology",
+    "ec2_global",
+    "single_datacenter",
+]

@@ -1,0 +1,232 @@
+"""Measurement instruments for experiments.
+
+The benchmark harness reproduces the paper's plots from four instrument
+types:
+
+* :class:`Counter` — monotonically increasing counts (operations, bytes).
+* :class:`LatencyRecorder` — per-request latency samples with mean,
+  percentiles and CDFs (Figures 3, 5, 6, 7).
+* :class:`ThroughputTracker` — operations (or bits) per second over a
+  measurement window or per fixed-size time bucket (Figure 8's timeline).
+* :class:`MetricRegistry` — a namespace of the above keyed by string, owned
+  by the :class:`~repro.sim.actor.Environment`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from collections import defaultdict
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "LatencyRecorder",
+    "ThroughputTracker",
+    "MetricRegistry",
+    "summarize_latencies",
+]
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current count."""
+        return self._value
+
+    def increment(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self._value += amount
+
+    def reset(self) -> None:
+        """Reset the counter to zero (start of a measurement window)."""
+        self._value = 0.0
+
+
+class LatencyRecorder:
+    """Collects latency samples in seconds and summarises them."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._samples: List[float] = []
+
+    def record(self, latency_seconds: float) -> None:
+        """Record one sample."""
+        if latency_seconds < 0:
+            raise ValueError("latency cannot be negative")
+        self._samples.append(latency_seconds)
+
+    @property
+    def count(self) -> int:
+        """Number of samples recorded."""
+        return len(self._samples)
+
+    @property
+    def samples(self) -> List[float]:
+        """A copy of the raw samples (seconds)."""
+        return list(self._samples)
+
+    def mean(self) -> float:
+        """Mean latency in seconds (0.0 when empty)."""
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def percentile(self, pct: float) -> float:
+        """Latency at percentile ``pct`` (0-100), nearest-rank method."""
+        if not self._samples:
+            return 0.0
+        if not 0 <= pct <= 100:
+            raise ValueError("percentile must be within [0, 100]")
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, math.ceil(pct / 100.0 * len(ordered)) - 1))
+        return ordered[rank]
+
+    def cdf(self, points: int = 100) -> List[Tuple[float, float]]:
+        """Return ``points`` (latency, cumulative fraction) pairs for plotting."""
+        if not self._samples:
+            return []
+        ordered = sorted(self._samples)
+        n = len(ordered)
+        result = []
+        for i in range(1, points + 1):
+            idx = max(0, min(n - 1, round(i / points * n) - 1))
+            result.append((ordered[idx], (idx + 1) / n))
+        return result
+
+    def fraction_below(self, threshold_seconds: float) -> float:
+        """Fraction of samples strictly below ``threshold_seconds``."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        return bisect.bisect_left(ordered, threshold_seconds) / len(ordered)
+
+    def mean_ms(self) -> float:
+        """Mean latency in milliseconds."""
+        return self.mean() * 1_000.0
+
+    def reset(self) -> None:
+        """Drop every recorded sample."""
+        self._samples.clear()
+
+
+class ThroughputTracker:
+    """Tracks completed units over time.
+
+    ``record(units)`` is called when work completes; totals per fixed-size
+    bucket provide the throughput timeline of Figure 8, and window totals
+    provide the steady-state throughput of the other figures.
+    """
+
+    def __init__(self, name: str, clock: Callable[[], float], bucket_seconds: float = 1.0) -> None:
+        self.name = name
+        self._clock = clock
+        self._bucket = bucket_seconds
+        self._events: List[Tuple[float, float]] = []
+
+    def record(self, units: float = 1.0) -> None:
+        """Record completion of ``units`` units of work at the current time."""
+        self._events.append((self._clock(), units))
+
+    @property
+    def total(self) -> float:
+        """Total units recorded."""
+        return sum(u for _, u in self._events)
+
+    def total_between(self, start: float, end: float) -> float:
+        """Units recorded in the half-open interval ``[start, end)``."""
+        return sum(u for t, u in self._events if start <= t < end)
+
+    def rate(self, start: float, end: float) -> float:
+        """Average rate (units/second) over ``[start, end)``."""
+        if end <= start:
+            return 0.0
+        return self.total_between(start, end) / (end - start)
+
+    def timeline(self, start: float, end: float) -> List[Tuple[float, float]]:
+        """Per-bucket rates between ``start`` and ``end``.
+
+        Returns a list of ``(bucket_start_time, units_per_second)`` covering
+        the interval, including empty buckets — exactly the series plotted in
+        Figure 8.
+        """
+        if end <= start:
+            return []
+        buckets: Dict[int, float] = defaultdict(float)
+        for t, u in self._events:
+            if start <= t < end:
+                buckets[int((t - start) // self._bucket)] += u
+        n_buckets = int(math.ceil((end - start) / self._bucket))
+        return [
+            (start + i * self._bucket, buckets.get(i, 0.0) / self._bucket)
+            for i in range(n_buckets)
+        ]
+
+    def reset(self) -> None:
+        """Drop all recorded events."""
+        self._events.clear()
+
+
+class MetricRegistry:
+    """Named registry of counters, latency recorders and throughput trackers."""
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self._counters: Dict[str, Counter] = {}
+        self._latencies: Dict[str, LatencyRecorder] = {}
+        self._throughputs: Dict[str, ThroughputTracker] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def latency(self, name: str) -> LatencyRecorder:
+        """Get or create the latency recorder ``name``."""
+        if name not in self._latencies:
+            self._latencies[name] = LatencyRecorder(name)
+        return self._latencies[name]
+
+    def throughput(self, name: str, bucket_seconds: float = 1.0) -> ThroughputTracker:
+        """Get or create the throughput tracker ``name``."""
+        if name not in self._throughputs:
+            self._throughputs[name] = ThroughputTracker(name, self._clock, bucket_seconds)
+        return self._throughputs[name]
+
+    def reset_all(self) -> None:
+        """Reset every registered instrument (start of measurement window)."""
+        for c in self._counters.values():
+            c.reset()
+        for l in self._latencies.values():
+            l.reset()
+        for t in self._throughputs.values():
+            t.reset()
+
+    def names(self) -> List[str]:
+        """All registered instrument names."""
+        return sorted(
+            set(self._counters) | set(self._latencies) | set(self._throughputs)
+        )
+
+
+def summarize_latencies(samples: Sequence[float]) -> Dict[str, float]:
+    """Convenience summary (mean/p50/p95/p99 in milliseconds) of raw samples."""
+    recorder = LatencyRecorder("summary")
+    for s in samples:
+        recorder.record(s)
+    return {
+        "count": recorder.count,
+        "mean_ms": recorder.mean() * 1e3,
+        "p50_ms": recorder.percentile(50) * 1e3,
+        "p95_ms": recorder.percentile(95) * 1e3,
+        "p99_ms": recorder.percentile(99) * 1e3,
+    }

@@ -1,0 +1,177 @@
+"""Simulated network: point-to-point channels with latency and bandwidth.
+
+The paper's Ring Paxos variant deliberately avoids IP multicast and uses TCP
+point-to-point connections arranged in a ring.  The simulated network
+therefore only needs unicast channels.  Each ordered pair of actors gets a
+FIFO channel whose delivery time is
+
+    propagation (topology latency) + transmission (size / bandwidth) + jitter
+
+and whose messages never reorder (TCP-like FIFO per channel).  Channels track
+when they become free so that back-to-back large messages queue behind each
+other, which is what creates the throughput ceilings in Figures 3, 6 and 7.
+
+Fault injection: links can be cut (``partition``) and healed, and whole sites
+can be isolated, supporting the recovery experiment (Figure 8) and the
+failure-injection tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Set, Tuple
+
+from .actor import Environment
+from .topology import Topology
+
+__all__ = ["Network", "MessageStats", "message_size"]
+
+
+def message_size(message: Any, default: int = 128) -> int:
+    """Best-effort size (bytes) of a protocol message.
+
+    Protocol messages define ``size_bytes`` (see :mod:`repro.net.message`);
+    anything else falls back to ``default`` which approximates a small control
+    message with TCP/IP overhead.
+    """
+    size = getattr(message, "size_bytes", None)
+    if size is None:
+        return default
+    return int(size)
+
+
+@dataclass
+class MessageStats:
+    """Aggregate statistics of everything the network carried."""
+
+    messages: int = 0
+    bytes: int = 0
+    dropped: int = 0
+
+    def record(self, size: int) -> None:
+        """Record a successfully queued message of ``size`` bytes."""
+        self.messages += 1
+        self.bytes += size
+
+    def record_drop(self) -> None:
+        """Record a message dropped by a partition or dead destination."""
+        self.dropped += 1
+
+
+class Network:
+    """Delivers messages between registered actors according to a topology."""
+
+    #: Fixed per-message protocol overhead (TCP/IP + framing), in bytes.
+    HEADER_BYTES = 66
+
+    def __init__(
+        self,
+        env: Environment,
+        topology: Topology,
+        jitter_fraction: float = 0.05,
+    ) -> None:
+        self.env = env
+        self.topology = topology
+        self.stats = MessageStats()
+        self._jitter = jitter_fraction
+        self._rng = env.streams.stream("network.jitter")
+        #: next time each directed (src_site, dst_site) pair's channel is free
+        self._channel_free_at: Dict[Tuple[str, str], float] = {}
+        #: last scheduled delivery time per (src_actor, dst_actor) connection,
+        #: used to enforce TCP-like FIFO order even in the presence of jitter
+        self._last_delivery_at: Dict[Tuple[str, str], float] = {}
+        #: severed directed site pairs
+        self._cut_links: Set[Tuple[str, str]] = set()
+        #: isolated sites (all traffic in/out dropped)
+        self._isolated_sites: Set[str] = set()
+        env.network = self
+        env.topology = topology
+
+    # ------------------------------------------------------------------ send
+    def send(self, src: str, dst: str, message: Any) -> None:
+        """Queue ``message`` from actor ``src`` to actor ``dst``.
+
+        Messages to unknown or crashed destinations are counted as drops —
+        like TCP connections to a dead host, the sender finds out through the
+        protocol's own timeouts, not through the transport.
+        """
+        if not self.env.has_actor(dst):
+            self.stats.record_drop()
+            return
+        src_actor = self.env.actor(src)
+        dst_actor = self.env.actor(dst)
+        src_site, dst_site = src_actor.site, dst_actor.site
+
+        if self._blocked(src_site, dst_site):
+            self.stats.record_drop()
+            return
+
+        size = message_size(message) + self.HEADER_BYTES
+        delay = self._delivery_delay(src_site, dst_site, size)
+        # Messages between the same two processes travel on one TCP
+        # connection: never deliver them out of order, whatever the jitter.
+        now = self.env.simulator.now
+        connection = (src, dst)
+        delivery_at = max(now + delay, self._last_delivery_at.get(connection, 0.0))
+        self._last_delivery_at[connection] = delivery_at
+        self.stats.record(size)
+        self.env.simulator.schedule(delivery_at - now, self._deliver, src, dst, message)
+
+    def _deliver(self, src: str, dst: str, message: Any) -> None:
+        if not self.env.has_actor(dst):
+            self.stats.record_drop()
+            return
+        actor = self.env.actor(dst)
+        if not actor.alive:
+            self.stats.record_drop()
+            return
+        actor.deliver(src, message)
+
+    # ----------------------------------------------------------------- model
+    def _delivery_delay(self, src_site: str, dst_site: str, size_bytes: int) -> float:
+        propagation = self.topology.latency(src_site, dst_site)
+        bandwidth = self.topology.bandwidth(src_site, dst_site)
+        transmission = (size_bytes * 8.0) / bandwidth
+        jitter = 0.0
+        if self._jitter > 0:
+            jitter = propagation * self._jitter * self._rng.random()
+
+        # FIFO channel occupancy: a message cannot start transmitting before
+        # the previous message on the same directed site pair finished.
+        key = (src_site, dst_site)
+        now = self.env.simulator.now
+        free_at = max(self._channel_free_at.get(key, now), now)
+        start = free_at
+        finish = start + transmission
+        self._channel_free_at[key] = finish
+        return (finish - now) + propagation + jitter
+
+    def _blocked(self, src_site: str, dst_site: str) -> bool:
+        if src_site in self._isolated_sites or dst_site in self._isolated_sites:
+            return True
+        return (src_site, dst_site) in self._cut_links
+
+    # -------------------------------------------------------- fault injection
+    def partition(self, site_a: str, site_b: str, bidirectional: bool = True) -> None:
+        """Cut the link between two sites."""
+        self._cut_links.add((site_a, site_b))
+        if bidirectional:
+            self._cut_links.add((site_b, site_a))
+
+    def heal(self, site_a: str, site_b: str) -> None:
+        """Restore the link between two sites."""
+        self._cut_links.discard((site_a, site_b))
+        self._cut_links.discard((site_b, site_a))
+
+    def isolate_site(self, site: str) -> None:
+        """Drop every message to or from ``site``."""
+        self._isolated_sites.add(site)
+
+    def rejoin_site(self, site: str) -> None:
+        """Undo :meth:`isolate_site`."""
+        self._isolated_sites.discard(site)
+
+    def heal_all(self) -> None:
+        """Remove every partition and isolation."""
+        self._cut_links.clear()
+        self._isolated_sites.clear()

@@ -1,0 +1,16 @@
+"""Stable-storage substrate: slot buffers, write-ahead logs and checkpoints."""
+
+from .checkpoint import Checkpoint, CheckpointId, CheckpointStore
+from .slots import SlotBuffer, SlotEntry, SlotFullError
+from .wal import LogRecord, WriteAheadLog
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointId",
+    "CheckpointStore",
+    "SlotBuffer",
+    "SlotEntry",
+    "SlotFullError",
+    "LogRecord",
+    "WriteAheadLog",
+]

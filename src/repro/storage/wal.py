@@ -1,0 +1,188 @@
+"""Write-ahead instance log (Berkeley DB JE substitute).
+
+The paper's acceptors persist Phase 1B / Phase 2B responses with the Java
+edition of Berkeley DB (Section 7.1), either synchronously (each instance
+written one by one, batching disabled — Section 8.2) or asynchronously
+(buffered, flushed in the background).
+
+:class:`WriteAheadLog` stores per-instance records in memory (the "database")
+and charges the device model for the bytes written.  In synchronous mode the
+caller receives the durability completion time and must not act before it; in
+asynchronous mode records are buffered and a background flush writes them in
+batches, so the caller continues immediately but a crash may lose the tail of
+the buffer — exactly the durability/latency trade-off of Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..sim.actor import Environment
+from ..sim.disk import Disk, DiskProfile, StorageMode, profile_for_mode
+
+__all__ = ["LogRecord", "WriteAheadLog"]
+
+#: Fixed per-record framing written to the device on top of the payload.
+_RECORD_OVERHEAD = 64
+
+
+@dataclass
+class LogRecord:
+    """One durable record: the acceptor's vote for one consensus instance."""
+
+    instance: int
+    ballot: int
+    value: Any
+    size_bytes: int
+
+
+class WriteAheadLog:
+    """Per-acceptor durable log of consensus votes.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment (provides the clock and scheduling).
+    mode:
+        Storage mode; :data:`~repro.sim.disk.StorageMode.IN_MEMORY` keeps
+        records only in memory (no durability, no device charge).
+    flush_interval:
+        Background flush period for asynchronous modes.
+    name:
+        Label used for the device (useful when each ring has its own disk, as
+        in the vertical-scalability experiment of Figure 6).
+    disk:
+        Optional externally created device, allowing several logs to share a
+        disk or an experiment to pin each ring to a dedicated disk.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        mode: StorageMode = StorageMode.IN_MEMORY,
+        flush_interval: float = 0.005,
+        name: str = "wal",
+        disk: Optional[Disk] = None,
+    ) -> None:
+        self.env = env
+        self.mode = mode
+        self.name = name
+        profile = profile_for_mode(mode)
+        self.disk: Optional[Disk] = None
+        if profile is not None:
+            self.disk = disk or Disk(env, profile, name=f"{name}.disk")
+        self._records: Dict[int, LogRecord] = {}
+        self._pending: List[LogRecord] = []
+        self._flush_interval = flush_interval
+        self._flush_scheduled = False
+        self._durable_up_to_bytes = 0
+        self._lost_on_crash = 0
+
+    # ------------------------------------------------------------------ write
+    def append(
+        self,
+        instance: int,
+        ballot: int,
+        value: Any,
+        size_bytes: int,
+        on_durable: Optional[Callable[[], None]] = None,
+    ) -> Optional[float]:
+        """Record the acceptor's vote for ``instance``.
+
+        Returns the simulation time at which the record is durable for
+        synchronous modes (``on_durable`` fires then), or ``None`` for
+        in-memory and asynchronous modes (``on_durable`` fires immediately in
+        that case because the caller does not wait for durability).
+        """
+        record = LogRecord(instance=instance, ballot=ballot, value=value, size_bytes=size_bytes)
+        self._records[instance] = record
+
+        if self.mode is StorageMode.IN_MEMORY or self.disk is None:
+            if on_durable is not None:
+                self.env.simulator.schedule(0.0, on_durable)
+            return None
+
+        if self.mode.synchronous:
+            # Synchronous mode with batching disabled: one device write per
+            # record (Section 8.2).
+            return self.disk.write(size_bytes + _RECORD_OVERHEAD, on_complete=on_durable)
+
+        # Asynchronous mode: buffer and flush in the background.
+        self._pending.append(record)
+        self._schedule_flush()
+        if on_durable is not None:
+            self.env.simulator.schedule(0.0, on_durable)
+        return None
+
+    def _schedule_flush(self) -> None:
+        if self._flush_scheduled:
+            return
+        self._flush_scheduled = True
+        self.env.simulator.schedule(self._flush_interval, self._flush)
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        if not self._pending or self.disk is None:
+            return
+        batch = self._pending
+        self._pending = []
+        total = sum(r.size_bytes + _RECORD_OVERHEAD for r in batch)
+        self.disk.write(total)
+        self._durable_up_to_bytes += total
+        if self._pending:
+            self._schedule_flush()
+
+    # ------------------------------------------------------------------- read
+    def get(self, instance: int) -> Optional[LogRecord]:
+        """Return the record for ``instance`` (``None`` when absent/trimmed)."""
+        return self._records.get(instance)
+
+    def __contains__(self, instance: int) -> bool:
+        return instance in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def instances(self) -> List[int]:
+        """Sorted instance numbers currently in the log."""
+        return sorted(self._records)
+
+    def highest_instance(self) -> int:
+        """Highest instance recorded, or -1 when the log is empty."""
+        return max(self._records) if self._records else -1
+
+    # ------------------------------------------------------------------- trim
+    def trim(self, up_to_instance: int) -> int:
+        """Delete records for every instance ``<= up_to_instance``.
+
+        Mirrors the coordinator-driven log trimming of Section 5; returns the
+        number of records removed.
+        """
+        to_remove = [i for i in self._records if i <= up_to_instance]
+        for i in to_remove:
+            del self._records[i]
+        return len(to_remove)
+
+    # ------------------------------------------------------------------ crash
+    def crash(self) -> None:
+        """Simulate a process crash.
+
+        In-memory logs lose everything.  Persistent logs keep every record
+        already flushed; asynchronous logs lose the records still sitting in
+        the flush buffer (recorded in :attr:`lost_on_crash`).
+        """
+        if self.mode is StorageMode.IN_MEMORY:
+            self._lost_on_crash += len(self._records)
+            self._records.clear()
+            return
+        if not self.mode.synchronous and self._pending:
+            for record in self._pending:
+                self._records.pop(record.instance, None)
+            self._lost_on_crash += len(self._pending)
+            self._pending.clear()
+
+    @property
+    def lost_on_crash(self) -> int:
+        """Total records lost across all crashes of this log."""
+        return self._lost_on_crash

@@ -1,0 +1,28 @@
+"""Workload generators: YCSB A-F, key-value streams and append workloads."""
+
+from .kv import preload_keys, read_mostly_workload, update_only_workload, uniform_key
+from .log import AppendWorkloadSpec, round_robin_logs, single_log
+from .ycsb import (
+    RECORD_BYTES,
+    YCSB_WORKLOADS,
+    WorkloadSpec,
+    YCSBWorkload,
+    ycsb_key,
+    ycsb_keyspace,
+)
+
+__all__ = [
+    "preload_keys",
+    "read_mostly_workload",
+    "update_only_workload",
+    "uniform_key",
+    "AppendWorkloadSpec",
+    "round_robin_logs",
+    "single_log",
+    "RECORD_BYTES",
+    "YCSB_WORKLOADS",
+    "WorkloadSpec",
+    "YCSBWorkload",
+    "ycsb_key",
+    "ycsb_keyspace",
+]

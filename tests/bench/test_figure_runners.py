@@ -1,0 +1,95 @@
+"""Smoke tests of the benchmark harness (tiny versions of every figure)."""
+
+import pytest
+
+from repro.bench import (
+    ExperimentResult,
+    MeasurementWindow,
+    format_results,
+    format_table,
+    relative_increments,
+    run_fig3_point,
+    run_fig4_point,
+    run_fig5_point,
+    run_fig6_point,
+    run_fig7_point,
+    run_fig8,
+)
+from repro.sim.disk import StorageMode
+
+
+class TestReporting:
+    def test_format_table_aligns_columns(self):
+        table = format_table(["a", "metric"], [["x", 1.5], ["longer", 12345.0]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "12,345" in table
+
+    def test_format_results(self):
+        results = [
+            ExperimentResult(name="t", params={"p": 1}, metrics={"m": 2.0}),
+            ExperimentResult(name="t", params={"p": 2}, metrics={"m": 4.0}),
+        ]
+        text = format_results(results, ["p"], ["m"], title="demo")
+        assert text.startswith("demo")
+        assert "4.00" in text
+
+    def test_relative_increments(self):
+        increments = relative_increments([100.0, 200.0, 290.0])
+        assert increments[0] == 100.0
+        assert increments[1] == pytest.approx(100.0)
+        assert increments[2] == pytest.approx(90.0)
+        assert relative_increments([]) == []
+
+    def test_experiment_result_helpers(self):
+        result = ExperimentResult(name="x", params={"a": 1}, metrics={"m": 3.0})
+        assert result.metric("m") == 3.0
+        assert result.metric("missing", default=7.0) == 7.0
+        assert "a=1" in result.describe()
+
+    def test_measurement_window(self):
+        window = MeasurementWindow(warmup=1.0, duration=2.0)
+        assert window.end == 3.0
+
+
+@pytest.mark.slow
+class TestFigureRunnersSmoke:
+    """Each figure runner produces sane metrics at a tiny scale."""
+
+    def test_fig3_runner(self):
+        result = run_fig3_point(2048, StorageMode.IN_MEMORY, warmup=0.2, duration=0.8)
+        assert result.metrics["ops_per_s"] > 0
+        assert result.metrics["throughput_mbps"] > 0
+        assert result.series["latency_cdf"]
+
+    def test_fig4_runner(self):
+        result = run_fig4_point("mysql", "C", client_threads=8, record_count=300,
+                                warmup=0.2, duration=0.8)
+        assert result.metrics["throughput_ops"] > 0
+
+    def test_fig4_mrp_runner(self):
+        result = run_fig4_point("mrp-store-indep", "A", client_threads=8, record_count=300,
+                                warmup=0.2, duration=0.8)
+        assert result.metrics["throughput_ops"] > 0
+
+    def test_fig5_runner(self):
+        result = run_fig5_point("bookkeeper", 8, warmup=0.2, duration=0.8)
+        assert result.metrics["throughput_ops"] > 0
+        assert result.metrics["latency_mean_ms"] > 0
+
+    def test_fig6_runner(self):
+        result = run_fig6_point(1, clients_per_ring=4, warmup=0.2, duration=0.8)
+        assert result.metrics["aggregate_ops"] > 0
+
+    def test_fig7_runner(self):
+        result = run_fig7_point(1, clients_per_region=4, key_count=200, warmup=0.5, duration=1.5)
+        assert result.metrics["aggregate_ops"] > 0
+
+    def test_fig8_runner(self):
+        result = run_fig8(time_scale=0.02, load_ops_per_s=500, key_count=200)
+        assert result.metrics["victim_recovered"] == 1.0
+        assert result.series["throughput_timeline"]
+
+    def test_fig8_rejects_inconsistent_times(self):
+        with pytest.raises(ValueError):
+            run_fig8(duration=10.0, crash_at=8.0, restart_at=5.0)

@@ -1,0 +1,65 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.core import AtomicMulticast, MultiRingConfig
+from repro.multiring import MultiRingProcess
+from repro.paxos.messages import ProposalValue
+
+
+class RecordingProcess(MultiRingProcess):
+    """A process that records everything it delivers (for assertions)."""
+
+    def __init__(self, env, name, site="dc1", messages_per_round=1):
+        super().__init__(env, name, site, messages_per_round=messages_per_round)
+        self.delivered: List[Tuple[int, int, object]] = []
+        self.delivery_times: List[float] = []
+
+    def on_deliver(self, group_id: int, instance: int, value: ProposalValue) -> None:
+        self.delivered.append((group_id, instance, value.payload))
+        self.delivery_times.append(self.now)
+
+    def delivered_payloads(self, group_id=None):
+        if group_id is None:
+            return [p for _, _, p in self.delivered]
+        return [p for g, _, p in self.delivered if g == group_id]
+
+
+@pytest.fixture
+def quiet_config() -> MultiRingConfig:
+    """A configuration with background machinery (skips, checkpoints, trims) off."""
+    return MultiRingConfig(
+        rate_interval=None,
+        checkpoint_interval=None,
+        trim_interval=None,
+    )
+
+
+@pytest.fixture
+def simple_ring(quiet_config):
+    """A three-process ring where every process plays every role."""
+    system = AtomicMulticast(seed=11, config=quiet_config)
+    processes = [RecordingProcess(system.env, f"n{i}") for i in range(3)]
+    system.create_ring(0, [(p.name, "pal") for p in processes])
+    system.start()
+    return system, processes
+
+
+def build_two_ring_system(seed: int = 5, messages_per_round: int = 1):
+    """Two rings, three shared learner/acceptor processes, one learner of ring 1 only."""
+    config = MultiRingConfig(rate_interval=0.005, max_rate=500.0,
+                             checkpoint_interval=None, trim_interval=None)
+    system = AtomicMulticast(seed=seed, config=config)
+    shared = [
+        RecordingProcess(system.env, f"s{i}", messages_per_round=messages_per_round)
+        for i in range(3)
+    ]
+    solo = RecordingProcess(system.env, "solo", messages_per_round=messages_per_round)
+    system.create_ring(0, [(p.name, "pal") for p in shared])
+    system.create_ring(1, [(p.name, "pal") for p in shared] + [(solo.name, "l")])
+    system.start()
+    return system, shared, solo

@@ -1,0 +1,151 @@
+"""Tests of the deployment façade and the closed/open-loop clients."""
+
+import pytest
+
+from repro.core import AtomicMulticast, MultiRingConfig
+from repro.core.client import ClosedLoopClient, Command, OpenLoopClient
+from repro.core.smr import ProposerFrontend, StateMachineReplica
+
+from tests.conftest import RecordingProcess
+
+
+class CountingReplica(StateMachineReplica):
+    """A replica applying counter commands (used to exercise the SMR base)."""
+
+    def __init__(self, env, name, site="dc1", config=None):
+        super().__init__(env, name, site, config=config)
+        self.value = 0
+
+    def apply_command(self, group_id, command):
+        if command.op == "add":
+            self.value += command.args[0]
+        return {"value": self.value}
+
+    def snapshot_state(self):
+        return self.value, 64
+
+    def install_state_snapshot(self, state):
+        self.value = state
+
+    def reset_state(self):
+        self.value = 0
+
+
+def build_counter_service(seed=21, concurrency=2, client_cls=ClosedLoopClient, **client_kwargs):
+    config = MultiRingConfig(rate_interval=None, checkpoint_interval=None, trim_interval=None)
+    system = AtomicMulticast(seed=seed, config=config)
+    frontends = [ProposerFrontend(system.env, f"fe{i}", config=config) for i in range(2)]
+    replicas = [CountingReplica(system.env, f"rep{i}", config=config) for i in range(2)]
+    members = [(f.name, "pa") for f in frontends] + [(r.name, "l") for r in replicas]
+    system.create_ring(0, members)
+
+    def factory(sequence):
+        command = Command(op="add", args=(1,), group_id=0, size_bytes=64)
+        return [command], [0]
+
+    if client_cls is ClosedLoopClient:
+        client = ClosedLoopClient(
+            system.env, "client", frontends_by_group={0: "fe0"},
+            request_factory=factory, concurrency=concurrency, metric_prefix="cnt",
+            **client_kwargs,
+        )
+    else:
+        client = OpenLoopClient(
+            system.env, "client", frontends_by_group={0: "fe0"},
+            request_factory=factory, metric_prefix="cnt", **client_kwargs,
+        )
+    return system, frontends, replicas, client
+
+
+class TestAtomicMulticastFacade:
+    def test_create_ring_requires_registered_processes(self):
+        system = AtomicMulticast(seed=1)
+        with pytest.raises(KeyError):
+            system.create_ring(0, [("ghost", "pal")])
+
+    def test_ring_and_config_accessors(self):
+        config = MultiRingConfig(rate_interval=None)
+        system = AtomicMulticast(seed=1, config=config)
+        p = RecordingProcess(system.env, "p0")
+        system.create_ring(3, [(p.name, "pal")])
+        assert system.ring(3).coordinator == "p0"
+        assert system.ring_config(3) is config
+        assert p in system.processes()
+        assert system.process("p0") is p
+
+    def test_start_is_idempotent(self):
+        system = AtomicMulticast(seed=1, config=MultiRingConfig(rate_interval=None))
+        p = RecordingProcess(system.env, "p0")
+        system.create_ring(0, [(p.name, "pal")])
+        system.start()
+        system.start()
+        system.run(until=0.5)
+
+    def test_crash_and_restart_process_updates_registry(self):
+        system = AtomicMulticast(seed=1, config=MultiRingConfig(rate_interval=None))
+        p = RecordingProcess(system.env, "p0")
+        system.create_ring(0, [(p.name, "pal")])
+        system.crash_process("p0")
+        assert not system.coordination.is_alive("p0")
+        system.restart_process("p0")
+        assert system.coordination.is_alive("p0")
+
+
+class TestStateMachineReplicaAndClients:
+    def test_commands_are_applied_and_answered(self):
+        system, frontends, replicas, client = build_counter_service()
+        system.start()
+        system.run(until=2.0)
+        assert client.completed > 10
+        assert replicas[0].value == replicas[1].value
+        assert replicas[0].value >= client.completed
+        assert frontends[0].forwarded >= client.completed
+
+    def test_closed_loop_keeps_bounded_outstanding(self):
+        system, frontends, replicas, client = build_counter_service(concurrency=3)
+        system.start()
+        system.run(until=1.0)
+        assert client.outstanding <= 3
+        assert client.issued == client.completed + client.outstanding
+
+    def test_closed_loop_max_requests(self):
+        system, frontends, replicas, client = build_counter_service(
+            concurrency=2, max_requests=10
+        )
+        system.start()
+        system.run(until=2.0)
+        assert client.issued == 10
+        assert client.completed == 10
+
+    def test_open_loop_client_issues_at_fixed_rate(self):
+        system, frontends, replicas, client = build_counter_service(
+            client_cls=OpenLoopClient, rate_per_second=100.0
+        )
+        system.start()
+        system.run(until=2.0)
+        assert 150 <= client.issued <= 210
+        assert client.completed > 100
+
+    def test_latency_metrics_recorded_per_op(self):
+        system, frontends, replicas, client = build_counter_service()
+        system.start()
+        system.run(until=1.0)
+        latencies = system.env.metrics.latency("cnt.latency")
+        per_op = system.env.metrics.latency("cnt.latency.add")
+        assert latencies.count == client.completed
+        assert per_op.count == client.completed
+
+    def test_replica_counts_applied_commands(self):
+        system, frontends, replicas, client = build_counter_service()
+        system.start()
+        system.run(until=1.0)
+        assert replicas[0].commands_applied == replicas[0].value
+
+    def test_smr_base_requires_subclass_hooks(self):
+        config = MultiRingConfig(rate_interval=None)
+        system = AtomicMulticast(seed=2, config=config)
+        replica = StateMachineReplica(system.env, "bare", config=config)
+        with pytest.raises(NotImplementedError):
+            replica.apply_command(0, Command(op="x"))
+        with pytest.raises(NotImplementedError):
+            replica.snapshot_state()

@@ -1,0 +1,139 @@
+"""Tests of the dLog replica and the deployed dLog service."""
+
+import pytest
+
+from repro.core import AtomicMulticast, MultiRingConfig
+from repro.core.client import Command
+from repro.dlog import DLogReplica, DLogService
+from repro.sim.disk import StorageMode
+
+
+def make_replica(persist=False):
+    config = MultiRingConfig(rate_interval=None, checkpoint_interval=None, trim_interval=None)
+    system = AtomicMulticast(seed=1, config=config)
+    return system, DLogReplica(system.env, "d0", config=config, persist_appends=persist)
+
+
+class TestDLogReplica:
+    def test_append_read_trim(self):
+        system, replica = make_replica()
+        result = replica.apply_command(0, Command(op="append", args=(1024,)))
+        assert result == {"log": 0, "position": 0}
+        replica.apply_command(0, Command(op="append", args=(1024,)))
+        read = replica.apply_command(0, Command(op="read", args=(1,)))
+        assert read["found"] and read["size"] == 1024
+        trim = replica.apply_command(0, Command(op="trim", args=(0,)))
+        assert trim["trimmed_up_to"] == 0
+        assert not replica.apply_command(0, Command(op="read", args=(0,)))["found"]
+
+    def test_each_group_backs_its_own_log(self):
+        system, replica = make_replica()
+        replica.apply_command(0, Command(op="append", args=(100,)))
+        replica.apply_command(1, Command(op="append", args=(100,)))
+        replica.apply_command(1, Command(op="append", args=(100,)))
+        assert replica.log_for(0).next_position == 1
+        assert replica.log_for(1).next_position == 2
+        assert replica.total_appends() == 3
+
+    def test_multi_append_is_applied_per_delivering_group(self):
+        system, replica = make_replica()
+        result = replica.apply_command(2, Command(op="multi-append", args=(100,)))
+        assert result["log"] == 2 and result["position"] == 0
+
+    def test_persisted_appends_touch_the_device(self):
+        system, replica = make_replica(persist=True)
+        replica.apply_command(0, Command(op="append", args=(4096,)))
+        assert replica._disk_for(0).write_count == 1
+
+    def test_unknown_operation_rejected(self):
+        system, replica = make_replica()
+        with pytest.raises(ValueError):
+            replica.apply_command(0, Command(op="compact"))
+
+    def test_snapshot_roundtrip(self):
+        system, replica = make_replica()
+        replica.apply_command(0, Command(op="append", args=(100,)))
+        state, size = replica.snapshot_state()
+        replica.reset_state()
+        assert replica.total_appends() == 0
+        replica.install_state_snapshot(state)
+        assert replica.log_for(0).next_position == 1
+
+
+def build_dlog(logs=(0, 1), common_ring=None, seed=5, sync=False, replica_count=2):
+    config = MultiRingConfig(
+        storage_mode=StorageMode.SYNC_HDD if sync else StorageMode.ASYNC_SSD,
+        rate_interval=0.005,
+        max_rate=500.0,
+        checkpoint_interval=None,
+        trim_interval=None,
+    )
+    system = AtomicMulticast(seed=seed, config=config)
+    service = DLogService(
+        system,
+        log_ids=list(logs),
+        acceptors_per_log=3,
+        replica_count=replica_count,
+        common_ring_id=common_ring,
+        dedicated_disks=sync,
+        config=config,
+    )
+    return system, service
+
+
+class TestDLogService:
+    def test_appends_complete_and_replicas_agree(self):
+        system, service = build_dlog()
+        client = service.create_append_client("c", concurrency=4, append_bytes=512)
+        system.start()
+        system.run(until=2.0)
+        assert client.completed > 20
+        first, second = service.replicas
+        assert first.total_appends() == second.total_appends()
+        assert first.total_appends() >= client.completed
+
+    def test_positions_are_identical_across_replicas(self):
+        system, service = build_dlog()
+        # A bounded request count lets the system quiesce, so both replicas
+        # must end at exactly the same log tails.
+        client = service.create_append_client("c", concurrency=2, append_bytes=512,
+                                               max_requests=200)
+        system.start()
+        system.run(until=5.0)
+        assert client.completed == 200
+        first, second = service.replicas
+        for log_id in service.log_ids:
+            assert first.log_for(log_id).next_position == second.log_for(log_id).next_position
+
+    def test_multi_append_waits_for_every_log(self):
+        system, service = build_dlog()
+        client = service.create_append_client(
+            "c", concurrency=2, append_bytes=256, multi_append_every=3
+        )
+        system.start()
+        system.run(until=2.0)
+        assert client.completed > 10
+        first = service.replicas[0]
+        assert first.log_for(0).next_position > 0
+        assert first.log_for(1).next_position > 0
+
+    def test_common_ring_subscription(self):
+        system, service = build_dlog(common_ring=9)
+        for replica in service.replicas:
+            assert 9 in replica.subscribed_groups()
+        client = service.create_append_client("c", concurrency=2)
+        system.start()
+        system.run(until=2.0)
+        assert client.completed > 10
+
+    def test_requires_logs(self):
+        system = AtomicMulticast(seed=1)
+        with pytest.raises(ValueError):
+            DLogService(system, log_ids=[])
+
+    def test_dedicated_disks_create_one_device_per_ring(self):
+        system, service = build_dlog(sync=True)
+        node0_disk = system.env.actor("dlog0-node0").node(0).acceptor.log.disk
+        node1_disk = system.env.actor("dlog1-node0").node(1).acceptor.log.disk
+        assert node0_disk is not None and node1_disk is not None
+        assert node0_disk is not node1_disk

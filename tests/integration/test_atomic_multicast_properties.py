@@ -1,0 +1,146 @@
+"""Property-style integration tests of the atomic multicast guarantees.
+
+Section 2 of the paper defines atomic multicast by three properties:
+
+* **agreement** — if a process delivers m, every correct subscriber of m's
+  group delivers m;
+* **validity** — a message multicast by a correct process is eventually
+  delivered by every correct subscriber of the group;
+* **order** — the relation "delivered before" is acyclic: any two processes
+  deliver common messages in the same relative order.
+
+These tests run whole deployments through randomized workloads and check the
+properties on the recorded delivery sequences.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AtomicMulticast, MultiRingConfig
+
+from tests.conftest import RecordingProcess
+
+
+def build_system(group_count, process_specs, seed=1, rate=500.0):
+    """``process_specs`` maps process name -> set of groups it subscribes to."""
+    config = MultiRingConfig(rate_interval=0.005, max_rate=rate,
+                             checkpoint_interval=None, trim_interval=None)
+    system = AtomicMulticast(seed=seed, config=config)
+    processes = {
+        name: RecordingProcess(system.env, name) for name in process_specs
+    }
+    for group in range(group_count):
+        members = []
+        for name, groups in process_specs.items():
+            if group in groups:
+                members.append((name, "pal"))
+        system.create_ring(group, members)
+    system.start()
+    return system, processes
+
+
+def relative_order(sequence, common):
+    """The order of the elements of ``common`` inside ``sequence``."""
+    return [item for item in sequence if item in common]
+
+
+class TestAgreementAndValidity:
+    def test_every_subscriber_delivers_every_multicast_message(self):
+        specs = {"p0": {0, 1}, "p1": {0, 1}, "p2": {0}, "p3": {1}}
+        system, processes = build_system(2, specs, seed=3)
+        sent = {0: [], 1: []}
+        rng = random.Random(3)
+        for i in range(30):
+            group = rng.choice([0, 1])
+            sender = rng.choice([n for n, groups in specs.items() if group in groups])
+            payload = f"g{group}-m{i}"
+            processes[sender].multicast(group, payload=payload, size_bytes=64)
+            sent[group].append(payload)
+        system.run(until=3.0)
+        for name, groups in specs.items():
+            delivered = processes[name].delivered_payloads()
+            for group in groups:
+                for payload in sent[group]:
+                    assert payload in delivered, f"{name} missed {payload}"
+            # no spurious deliveries from groups the process does not subscribe to
+            for group in set(sent) - groups:
+                assert not any(p in delivered for p in sent[group])
+
+    def test_no_duplicate_deliveries(self):
+        specs = {"p0": {0}, "p1": {0}, "p2": {0}}
+        system, processes = build_system(1, specs, seed=4)
+        for i in range(25):
+            processes["p0"].multicast(0, payload=f"m{i}", size_bytes=64)
+        system.run(until=2.0)
+        for process in processes.values():
+            delivered = process.delivered_payloads()
+            assert len(delivered) == len(set(delivered)) == 25
+
+
+class TestTotalOrderWithinGroup:
+    def test_all_subscribers_deliver_in_the_same_order(self):
+        specs = {"p0": {0}, "p1": {0}, "p2": {0}, "p3": {0}}
+        system, processes = build_system(1, specs, seed=5)
+        rng = random.Random(5)
+        for i in range(40):
+            sender = rng.choice(list(specs))
+            processes[sender].multicast(0, payload=i, size_bytes=64)
+        system.run(until=3.0)
+        sequences = [p.delivered_payloads() for p in processes.values()]
+        assert all(seq == sequences[0] for seq in sequences)
+
+
+class TestAcyclicOrderAcrossGroups:
+    def test_pairwise_relative_order_is_consistent(self):
+        """The paper's order property: < is acyclic across groups.
+
+        p0/p1 subscribe to both groups, p2 only to group 0, p3 only to group 1:
+        every pair of processes must agree on the relative order of the
+        messages they both deliver.
+        """
+        specs = {"p0": {0, 1}, "p1": {0, 1}, "p2": {0}, "p3": {1}}
+        system, processes = build_system(2, specs, seed=6)
+        rng = random.Random(6)
+        for i in range(30):
+            group = rng.choice([0, 1])
+            sender = rng.choice([n for n, groups in specs.items() if group in groups])
+            processes[sender].multicast(group, payload=f"g{group}-m{i}", size_bytes=64)
+        system.run(until=3.0)
+        sequences = {name: p.delivered_payloads() for name, p in processes.items()}
+        for (name_a, seq_a), (name_b, seq_b) in itertools.combinations(sequences.items(), 2):
+            common = set(seq_a) & set(seq_b)
+            assert relative_order(seq_a, common) == relative_order(seq_b, common), (
+                f"{name_a} and {name_b} disagree on the order of common messages"
+            )
+
+    @given(st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=5, deadline=None)
+    def test_order_property_holds_for_random_seeds(self, seed):
+        specs = {"p0": {0, 1}, "p1": {0, 1}, "p2": {1}}
+        system, processes = build_system(2, specs, seed=seed)
+        rng = random.Random(seed)
+        for i in range(15):
+            group = rng.choice([0, 1])
+            sender = rng.choice([n for n, groups in specs.items() if group in groups])
+            processes[sender].multicast(group, payload=(group, i), size_bytes=64)
+        system.run(until=3.0)
+        sequences = [p.delivered_payloads() for p in processes.values()]
+        for seq_a, seq_b in itertools.combinations(sequences, 2):
+            common = set(seq_a) & set(seq_b)
+            assert relative_order(seq_a, common) == relative_order(seq_b, common)
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_the_same_delivery_sequence(self):
+        def run_once():
+            specs = {"p0": {0, 1}, "p1": {0, 1}}
+            system, processes = build_system(2, specs, seed=77)
+            for i in range(20):
+                processes["p0"].multicast(i % 2, payload=f"m{i}", size_bytes=64)
+            system.run(until=2.0)
+            return processes["p1"].delivered_payloads()
+
+        assert run_once() == run_once()

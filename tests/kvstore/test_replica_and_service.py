@@ -1,0 +1,127 @@
+"""Tests of the MRP-Store replica state machine and the service builder."""
+
+import random
+
+import pytest
+
+from repro.core import AtomicMulticast, MultiRingConfig
+from repro.core.client import Command
+from repro.kvstore import HashPartitioner, MRPStoreReplica, MRPStoreService, RangePartitioner
+from repro.workloads import preload_keys, read_mostly_workload, update_only_workload
+
+
+def make_replica():
+    config = MultiRingConfig(rate_interval=None, checkpoint_interval=None, trim_interval=None)
+    system = AtomicMulticast(seed=1, config=config)
+    return MRPStoreReplica(system.env, "r0", config=config)
+
+
+class TestReplicaStateMachine:
+    def test_apply_insert_read_update_delete_scan(self):
+        replica = make_replica()
+        assert replica.apply_command(0, Command(op="insert", args=("k", "v", 100)))["inserted"]
+        assert replica.apply_command(0, Command(op="read", args=("k",)))["found"]
+        assert replica.apply_command(0, Command(op="update", args=("k", "v2", 150)))["updated"]
+        scan = replica.apply_command(0, Command(op="scan", args=("a", "z", None)))
+        assert scan["count"] == 1 and scan["bytes"] == 150
+        assert replica.apply_command(0, Command(op="delete", args=("k",)))["deleted"]
+        assert not replica.apply_command(0, Command(op="read", args=("k",)))["found"]
+
+    def test_unknown_operation_rejected(self):
+        replica = make_replica()
+        with pytest.raises(ValueError):
+            replica.apply_command(0, Command(op="vacuum"))
+
+    def test_snapshot_roundtrip(self):
+        replica = make_replica()
+        replica.apply_command(0, Command(op="insert", args=("k", "v", 100)))
+        state, size = replica.snapshot_state()
+        assert size >= 100
+        replica.reset_state()
+        assert replica.entry_count() == 0
+        replica.install_state_snapshot(state)
+        assert replica.entry_count() == 1
+
+
+def build_store(partitions=2, global_ring=False, seed=3, partitioner=None):
+    config = MultiRingConfig(rate_interval=0.005, max_rate=500.0,
+                             checkpoint_interval=None, trim_interval=None)
+    system = AtomicMulticast(seed=seed, config=config)
+    service = MRPStoreService(
+        system,
+        partition_groups=list(range(partitions)),
+        partitioner=partitioner,
+        acceptors_per_partition=3,
+        replicas_per_partition=2,
+        global_ring_id=40 if global_ring else None,
+        config=config,
+    )
+    return system, service
+
+
+class TestServiceDeployment:
+    def test_partition_map_is_published(self):
+        system, service = build_store()
+        assert system.coordination.get("kvstore/partition-map") is service.partitioner
+
+    def test_preload_places_keys_on_the_owning_partition_only(self):
+        system, service = build_store()
+        service.preload(preload_keys(100))
+        for group in service.groups:
+            for replica in service.replicas[group]:
+                for key in replica.store.keys():
+                    assert service.partitioner.group_for_key(key) == group
+
+    def test_replicas_of_a_partition_converge(self):
+        system, service = build_store()
+        service.preload(preload_keys(100))
+        rng = random.Random(7)
+        client = service.create_client("c", update_only_workload(rng, key_count=100), concurrency=4)
+        system.start()
+        system.run(until=2.0)
+        assert client.completed > 50
+        for group in service.groups:
+            first, second = service.replicas[group]
+            assert first.commands_applied == second.commands_applied
+
+    def test_reads_and_scans_complete(self):
+        partitioner = RangePartitioner([0, 1], splits=["m"])
+        system, service = build_store(partitioner=partitioner)
+        service.preload(preload_keys(50))
+        rng = random.Random(9)
+
+        def mixed(sequence):
+            if sequence % 5 == 4:
+                return ("scan", "key0000000000", 0, "key0000000049")
+            return read_mostly_workload(rng, key_count=50)(sequence)
+
+        client = service.create_client("c", mixed, concurrency=2)
+        system.start()
+        system.run(until=2.0)
+        assert client.completed > 20
+
+    def test_global_ring_orders_across_partitions(self):
+        system, service = build_store(global_ring=True)
+        assert service.global_ring_id == 40
+        # every replica subscribes to its partition ring plus the global ring
+        for group in service.groups:
+            for replica in service.replicas[group]:
+                assert set(replica.subscribed_groups()) == {group, 40}
+        service.preload(preload_keys(60))
+        rng = random.Random(11)
+        client = service.create_client("c", update_only_workload(rng, key_count=60), concurrency=4)
+        system.start()
+        system.run(until=2.0)
+        assert client.completed > 20
+
+    def test_frontend_map_prefers_site(self):
+        system, service = build_store()
+        mapping = service.frontend_map()
+        assert set(mapping) == set(service.groups)
+        for group, name in mapping.items():
+            assert name.startswith(f"kv{group}-node")
+
+    def test_requires_at_least_one_partition(self):
+        system = AtomicMulticast(seed=1)
+        with pytest.raises(ValueError):
+            MRPStoreService(system, partition_groups=[])

@@ -1,0 +1,70 @@
+"""Tests of message size accounting and batches."""
+
+from repro.net.message import Batch, ClientRequest, ClientResponse, Message, next_message_id
+from repro.paxos.messages import Decision, Phase2Ring, ProposalValue, RetransmitReply, SKIP
+
+
+class TestMessageSizes:
+    def test_base_message_size_includes_overhead(self):
+        assert Message(payload_bytes=0).size_bytes == Message.OVERHEAD_BYTES
+        assert Message(payload_bytes=100).size_bytes == 100 + Message.OVERHEAD_BYTES
+
+    def test_client_request_and_response(self):
+        request = ClientRequest(payload_bytes=512, client="c1", command="x")
+        assert request.size_bytes > 512
+        response = ClientResponse(payload_bytes=32, request_id=request.request_id)
+        assert response.size_bytes > 32
+
+    def test_message_ids_are_unique(self):
+        assert next_message_id() != next_message_id()
+
+
+class TestBatch:
+    def test_batch_size_accumulates_members(self):
+        batch = Batch(messages=[Message(payload_bytes=100), Message(payload_bytes=200)])
+        assert len(batch) == 2
+        assert batch.payload_bytes == sum(m.size_bytes for m in batch)
+
+    def test_append_updates_size(self):
+        batch = Batch()
+        before = batch.size_bytes
+        batch.append(Message(payload_bytes=500))
+        assert batch.size_bytes > before
+        assert len(batch) == 1
+
+
+class TestPaxosMessageSizes:
+    def test_phase2_carries_value_payload(self):
+        value = ProposalValue(payload=b"x", size_bytes=4096)
+        message = Phase2Ring(ring_id=0, instance=1, ballot=1, value=value)
+        assert message.payload_bytes == 4096
+
+    def test_skip_phase2_has_no_payload(self):
+        skip = ProposalValue(payload=SKIP, size_bytes=0)
+        message = Phase2Ring(ring_id=0, instance=1, ballot=1, value=skip, span=10)
+        assert message.payload_bytes == 0
+        assert message.last_instance == 10
+
+    def test_with_vote_preserves_fields_and_appends(self):
+        value = ProposalValue(payload=b"x", size_bytes=10)
+        message = Phase2Ring(ring_id=3, instance=7, ballot=2, value=value, votes=("a",), origin="a", span=1)
+        voted = message.with_vote("b")
+        assert voted.votes == ("a", "b")
+        assert voted.instance == 7 and voted.ring_id == 3 and voted.origin == "a"
+
+    def test_decision_value_charged_only_when_carried(self):
+        value = ProposalValue(payload=b"x", size_bytes=2048)
+        carried = Decision(ring_id=0, instance=1, value=value, carries_value=True)
+        bare = carried.without_value()
+        assert carried.payload_bytes == 2048
+        assert bare.payload_bytes == 0
+        assert bare.value is value  # value object retained for local learning
+
+    def test_retransmit_reply_size_sums_values(self):
+        values = [(i, ProposalValue(payload=b"x", size_bytes=100)) for i in range(5)]
+        reply = RetransmitReply(ring_id=0, decided=values)
+        assert reply.payload_bytes == 500
+
+    def test_skip_sentinel_identity(self):
+        assert ProposalValue(payload=SKIP, size_bytes=0).is_skip()
+        assert not ProposalValue(payload="SKIP", size_bytes=0).is_skip()

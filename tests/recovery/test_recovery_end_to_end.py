@@ -1,0 +1,127 @@
+"""End-to-end tests of the recovery protocol on a running deployment."""
+
+import random
+
+import pytest
+
+from repro.core import AtomicMulticast, MultiRingConfig
+from repro.kvstore import MRPStoreService
+from repro.recovery.recover import RecoveryPhase
+from repro.workloads import preload_keys, update_only_workload
+
+
+def build_service(checkpoint_interval=1.0, trim_interval=2.0, replicas=3, seed=13):
+    config = MultiRingConfig(
+        rate_interval=None,
+        checkpoint_interval=checkpoint_interval,
+        trim_interval=trim_interval,
+    )
+    system = AtomicMulticast(seed=seed, config=config)
+    service = MRPStoreService(
+        system, partition_groups=[0], acceptors_per_partition=3, replicas_per_partition=replicas,
+        config=config,
+    )
+    service.preload(preload_keys(200))
+    rng = random.Random(seed)
+    client = service.create_client(
+        "load", update_only_workload(rng, key_count=200), concurrency=4
+    )
+    return system, service, client
+
+
+class TestCheckpointAndTrim:
+    def test_replicas_checkpoint_periodically(self):
+        system, service, client = build_service()
+        system.start()
+        system.run(until=4.0)
+        for replica in service.all_replicas():
+            assert replica.checkpointer is not None
+            assert replica.checkpointer.checkpoints_taken >= 2
+
+    def test_acceptor_logs_get_trimmed(self):
+        system, service, client = build_service()
+        system.start()
+        system.run(until=6.0)
+        acceptor = system.env.actor("kv0-node0").node(0).acceptor
+        assert acceptor.trimmed_up_to > 0
+
+    def test_trim_point_never_exceeds_any_replica_checkpoint(self):
+        system, service, client = build_service()
+        system.start()
+        system.run(until=6.0)
+        acceptor = system.env.actor("kv0-node0").node(0).acceptor
+        safes = [r.checkpointer.safe_instance(0) for r in service.all_replicas()]
+        assert acceptor.trimmed_up_to <= max(safes)
+
+    def test_no_trim_without_checkpoints(self):
+        system, service, client = build_service(checkpoint_interval=None, trim_interval=1.0)
+        system.start()
+        system.run(until=4.0)
+        acceptor = system.env.actor("kv0-node0").node(0).acceptor
+        assert acceptor.trimmed_up_to == -1
+
+
+class TestReplicaRecovery:
+    def test_crashed_replica_catches_up_via_checkpoint_and_retransmission(self):
+        system, service, client = build_service()
+        victim = service.replicas[0][2]
+        survivor = service.replicas[0][0]
+        system.start()
+        system.run(until=3.0)
+        system.crash_process(victim.name)
+        system.run(until=8.0)
+        assert victim.commands_applied == 0
+        system.restart_process(victim.name)
+        system.run(until=12.0)
+        assert victim.recovery_phase is RecoveryPhase.DONE
+        assert victim.delivered_position(0) >= survivor.delivered_position(0) - 50
+        assert len(victim.store) == len(survivor.store)
+
+    def test_recovering_replica_installs_a_peer_checkpoint(self):
+        system, service, client = build_service()
+        victim = service.replicas[0][1]
+        system.start()
+        system.run(until=3.0)
+        system.crash_process(victim.name)
+        system.run(until=8.0)
+        system.restart_process(victim.name)
+        system.run(until=12.0)
+        assert victim._recovery is not None
+        assert victim._recovery.chosen_peer in {r.name for r in service.replicas[0]} - {victim.name}
+
+    def test_recovery_without_any_checkpoint_uses_acceptor_logs_only(self):
+        system, service, client = build_service(checkpoint_interval=None, trim_interval=None)
+        victim = service.replicas[0][2]
+        survivor = service.replicas[0][0]
+        system.start()
+        system.run(until=2.0)
+        system.crash_process(victim.name)
+        system.run(until=4.0)
+        system.restart_process(victim.name)
+        system.run(until=8.0)
+        assert victim.recovery_phase is RecoveryPhase.DONE
+        assert victim.delivered_position(0) >= survivor.delivered_position(0) - 50
+
+    def test_service_keeps_serving_while_a_replica_is_down(self):
+        system, service, client = build_service()
+        victim = service.replicas[0][2]
+        system.start()
+        system.run(until=3.0)
+        completed_before = client.completed
+        system.crash_process(victim.name)
+        system.run(until=6.0)
+        assert client.completed > completed_before
+
+    def test_two_consecutive_failures_and_recoveries(self):
+        system, service, client = build_service()
+        victim = service.replicas[0][2]
+        system.start()
+        system.run(until=2.0)
+        for crash_at, restart_at in ((2.0, 4.0), (6.0, 8.0)):
+            system.crash_process(victim.name)
+            system.run(until=restart_at)
+            system.restart_process(victim.name)
+            system.run(until=restart_at + 3.0)
+        survivor = service.replicas[0][0]
+        assert victim.recovery_phase is RecoveryPhase.DONE
+        assert len(victim.store) == len(survivor.store)

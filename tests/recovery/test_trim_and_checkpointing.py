@@ -1,0 +1,143 @@
+"""Tests of the trim quorum computation, the predicates and the checkpointer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.recovery.checkpointing import ReplicaCheckpointer
+from repro.recovery.trim import compute_trim_point, predicates_hold, trim_quorum_size
+from repro.sim.actor import Environment
+from repro.storage.checkpoint import CheckpointStore
+
+
+class TestTrimQuorum:
+    def test_quorum_size_is_a_majority(self):
+        assert trim_quorum_size(1) == 1
+        assert trim_quorum_size(3) == 2
+        assert trim_quorum_size(4) == 3
+        with pytest.raises(ValueError):
+            trim_quorum_size(0)
+
+    def test_trim_point_requires_quorum(self):
+        assert compute_trim_point({"r1": 10}, quorum=2) is None
+        assert compute_trim_point({"r1": 10, "r2": 7}, quorum=2) == 7
+
+    def test_trim_point_is_the_minimum(self):
+        reports = {"r1": 100, "r2": 50, "r3": 80}
+        assert compute_trim_point(reports, quorum=3) == 50
+
+    def test_unckeckpointed_replica_blocks_trimming(self):
+        assert compute_trim_point({"r1": -1, "r2": 10}, quorum=2) is None
+
+    def test_invalid_quorum(self):
+        with pytest.raises(ValueError):
+            compute_trim_point({"r1": 1}, quorum=0)
+
+    @given(
+        st.dictionaries(st.sampled_from(["a", "b", "c", "d", "e"]), st.integers(0, 1000),
+                        min_size=1, max_size=5)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_predicate2_trim_point_never_exceeds_any_quorum_member(self, reports):
+        """Predicate 2: K_T <= k[x]_p for every p in the quorum."""
+        quorum = len(reports)
+        trim_point = compute_trim_point(reports, quorum=quorum)
+        if trim_point is not None:
+            assert all(trim_point <= safe for safe in reports.values())
+
+    @given(
+        st.dictionaries(st.sampled_from(list("abcdefg")), st.integers(0, 100), min_size=3, max_size=7),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_predicate5_holds_for_intersecting_quorums(self, reports, data):
+        """Predicate 5: with intersecting quorums, K_T <= K_R."""
+        names = sorted(reports)
+        majority = len(names) // 2 + 1
+        trim_q = {n: reports[n] for n in data.draw(st.permutations(names))[:majority]}
+        recovery_q = {n: reports[n] for n in data.draw(st.permutations(names))[:majority]}
+        assert predicates_hold(trim_q, recovery_q)
+
+    def test_non_intersecting_quorums_rejected(self):
+        with pytest.raises(ValueError):
+            predicates_hold({"a": 1}, {"b": 2})
+
+
+class TestReplicaCheckpointer:
+    def _checkpointer(self, groups=(0,), boundary=None):
+        env = Environment()
+        store = CheckpointStore(env)
+        state = {"value": 0}
+        boundary_flag = {"at_boundary": True}
+
+        def snapshot():
+            return dict(state), 100
+
+        checkpointer = ReplicaCheckpointer(
+            store=store,
+            snapshot_fn=snapshot,
+            group_ids=list(groups),
+            at_round_boundary=boundary or (lambda: boundary_flag["at_boundary"]),
+        )
+        return env, checkpointer, state, boundary_flag
+
+    def test_requires_groups(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            ReplicaCheckpointer(CheckpointStore(env), lambda: (None, 1), group_ids=[])
+
+    def test_checkpoint_records_delivered_positions(self):
+        env, checkpointer, state, _ = self._checkpointer(groups=(0, 1))
+        checkpointer.mark_delivered(0, 10)
+        checkpointer.mark_delivered(1, 9)
+        assert checkpointer.request_checkpoint()
+        latest = checkpointer.latest()
+        assert latest.checkpoint_id.as_dict() == {0: 10, 1: 9}
+        assert latest.checkpoint_id.satisfies_round_robin_order()
+        assert checkpointer.checkpoints_taken == 1
+
+    def test_safe_instance_reflects_last_checkpoint_only(self):
+        env, checkpointer, state, _ = self._checkpointer()
+        assert checkpointer.safe_instance(0) == -1
+        checkpointer.mark_delivered(0, 5)
+        checkpointer.request_checkpoint()
+        checkpointer.mark_delivered(0, 50)
+        assert checkpointer.safe_instance(0) == 5
+
+    def test_deferred_checkpoint_waits_for_round_boundary(self):
+        env, checkpointer, state, boundary = self._checkpointer()
+        boundary["at_boundary"] = False
+        assert not checkpointer.request_checkpoint()
+        assert checkpointer.checkpoints_taken == 0
+        boundary["at_boundary"] = True
+        assert checkpointer.maybe_take_deferred()
+        assert checkpointer.checkpoints_taken == 1
+        # no pending request left
+        assert not checkpointer.maybe_take_deferred()
+
+    def test_mark_delivered_ignores_regressions_and_unknown_groups(self):
+        env, checkpointer, state, _ = self._checkpointer()
+        checkpointer.mark_delivered(0, 10)
+        checkpointer.mark_delivered(0, 5)
+        assert checkpointer.delivered_positions() == {0: 10}
+        with pytest.raises(KeyError):
+            checkpointer.mark_delivered(9, 1)
+
+    def test_install_adopts_remote_positions(self):
+        env, checkpointer, state, _ = self._checkpointer(groups=(0, 1))
+        checkpointer.mark_delivered(0, 3)
+        checkpointer.request_checkpoint()
+        remote_env, remote, _, _ = self._checkpointer(groups=(0, 1))
+        remote.mark_delivered(0, 20)
+        remote.mark_delivered(1, 20)
+        remote_checkpoint = remote.store.latest() or remote.request_checkpoint() or remote.store.latest()
+        remote.request_checkpoint()
+        checkpointer.install(remote.store.latest())
+        assert checkpointer.delivered_positions() == {0: 20, 1: 20}
+
+    def test_on_checkpoint_callback(self):
+        env, checkpointer, state, _ = self._checkpointer()
+        seen = []
+        checkpointer.on_checkpoint(lambda ckpt: seen.append(ckpt.checkpoint_id))
+        checkpointer.mark_delivered(0, 2)
+        checkpointer.request_checkpoint()
+        assert len(seen) == 1

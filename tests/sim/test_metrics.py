@@ -1,0 +1,148 @@
+"""Unit tests of the measurement instruments."""
+
+import pytest
+
+from repro.sim.metrics import (
+    Counter,
+    LatencyRecorder,
+    MetricRegistry,
+    ThroughputTracker,
+    summarize_latencies,
+)
+
+
+class TestCounter:
+    def test_increment_accumulates(self):
+        counter = Counter("ops")
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("ops").increment(-1)
+
+    def test_reset(self):
+        counter = Counter("ops")
+        counter.increment(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestLatencyRecorder:
+    def test_mean_and_count(self):
+        recorder = LatencyRecorder("lat")
+        for value in (0.010, 0.020, 0.030):
+            recorder.record(value)
+        assert recorder.count == 3
+        assert recorder.mean() == pytest.approx(0.020)
+        assert recorder.mean_ms() == pytest.approx(20.0)
+
+    def test_empty_recorder_returns_zero(self):
+        recorder = LatencyRecorder("lat")
+        assert recorder.mean() == 0.0
+        assert recorder.percentile(99) == 0.0
+        assert recorder.cdf() == []
+
+    def test_percentiles_are_order_statistics(self):
+        recorder = LatencyRecorder("lat")
+        for i in range(1, 101):
+            recorder.record(i / 1000.0)
+        assert recorder.percentile(50) == pytest.approx(0.050)
+        assert recorder.percentile(95) == pytest.approx(0.095)
+        assert recorder.percentile(100) == pytest.approx(0.100)
+
+    def test_percentile_bounds_checked(self):
+        recorder = LatencyRecorder("lat")
+        recorder.record(0.1)
+        with pytest.raises(ValueError):
+            recorder.percentile(150)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder("lat").record(-0.1)
+
+    def test_cdf_is_monotonic_and_ends_at_one(self):
+        recorder = LatencyRecorder("lat")
+        for i in range(50):
+            recorder.record(i / 100.0)
+        cdf = recorder.cdf(points=10)
+        fractions = [f for _, f in cdf]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+        latencies = [l for l, _ in cdf]
+        assert latencies == sorted(latencies)
+
+    def test_fraction_below(self):
+        recorder = LatencyRecorder("lat")
+        for value in (0.001, 0.005, 0.010, 0.050):
+            recorder.record(value)
+        assert recorder.fraction_below(0.010) == pytest.approx(0.5)
+        assert recorder.fraction_below(1.0) == pytest.approx(1.0)
+
+    def test_reset_drops_samples(self):
+        recorder = LatencyRecorder("lat")
+        recorder.record(0.1)
+        recorder.reset()
+        assert recorder.count == 0
+
+
+class TestThroughputTracker:
+    def test_rate_over_window(self):
+        clock = {"now": 0.0}
+        tracker = ThroughputTracker("tp", clock=lambda: clock["now"])
+        for t in range(10):
+            clock["now"] = float(t)
+            tracker.record(2.0)
+        assert tracker.total == 20.0
+        assert tracker.rate(0.0, 10.0) == pytest.approx(2.0)
+        assert tracker.total_between(0.0, 5.0) == 10.0
+
+    def test_timeline_includes_empty_buckets(self):
+        clock = {"now": 0.0}
+        tracker = ThroughputTracker("tp", clock=lambda: clock["now"], bucket_seconds=1.0)
+        clock["now"] = 0.5
+        tracker.record(1.0)
+        clock["now"] = 2.5
+        tracker.record(3.0)
+        timeline = tracker.timeline(0.0, 4.0)
+        assert len(timeline) == 4
+        assert timeline[0][1] == pytest.approx(1.0)
+        assert timeline[1][1] == 0.0
+        assert timeline[2][1] == pytest.approx(3.0)
+
+    def test_rate_of_empty_window_is_zero(self):
+        tracker = ThroughputTracker("tp", clock=lambda: 0.0)
+        assert tracker.rate(5.0, 5.0) == 0.0
+        assert tracker.timeline(3.0, 3.0) == []
+
+
+class TestMetricRegistry:
+    def test_instruments_are_singletons_by_name(self):
+        registry = MetricRegistry(clock=lambda: 0.0)
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.latency("b") is registry.latency("b")
+        assert registry.throughput("c") is registry.throughput("c")
+
+    def test_reset_all(self):
+        registry = MetricRegistry(clock=lambda: 0.0)
+        registry.counter("a").increment(5)
+        registry.latency("b").record(0.1)
+        registry.throughput("c").record(1.0)
+        registry.reset_all()
+        assert registry.counter("a").value == 0
+        assert registry.latency("b").count == 0
+        assert registry.throughput("c").total == 0
+
+    def test_names_lists_all_instruments(self):
+        registry = MetricRegistry(clock=lambda: 0.0)
+        registry.counter("x")
+        registry.latency("y")
+        assert registry.names() == ["x", "y"]
+
+
+def test_summarize_latencies():
+    summary = summarize_latencies([0.001, 0.002, 0.003, 0.004])
+    assert summary["count"] == 4
+    assert summary["mean_ms"] == pytest.approx(2.5)
+    assert summary["p99_ms"] >= summary["p50_ms"]

@@ -1,0 +1,97 @@
+"""Tests of the seeded random streams and the YCSB key distributions."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.random import (
+    LatestGenerator,
+    SeededStreams,
+    UniformIntGenerator,
+    ZipfianGenerator,
+    weighted_choice,
+)
+
+
+class TestSeededStreams:
+    def test_same_seed_same_sequence(self):
+        a = SeededStreams(7).stream("net")
+        b = SeededStreams(7).stream("net")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_names_are_independent(self):
+        streams = SeededStreams(7)
+        assert streams.stream("a").random() != streams.stream("b").random()
+
+    def test_stream_identity_is_cached(self):
+        streams = SeededStreams(1)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_spawn_derives_child_seed(self):
+        parent = SeededStreams(3)
+        child1 = parent.spawn("site1")
+        child2 = parent.spawn("site2")
+        assert child1.seed != child2.seed
+        assert SeededStreams(3).spawn("site1").seed == child1.seed
+
+
+class TestUniformGenerator:
+    def test_values_in_range(self):
+        gen = UniformIntGenerator(5, 10, random.Random(1))
+        values = [gen.next() for _ in range(200)]
+        assert all(5 <= v <= 10 for v in values)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            UniformIntGenerator(10, 5, random.Random(1))
+
+
+class TestZipfianGenerator:
+    def test_values_are_within_bounds(self):
+        gen = ZipfianGenerator(1000, random.Random(2))
+        values = [gen.next() for _ in range(2000)]
+        assert all(0 <= v < 1000 for v in values)
+
+    def test_distribution_is_skewed_towards_low_keys(self):
+        gen = ZipfianGenerator(1000, random.Random(3))
+        values = [gen.next() for _ in range(5000)]
+        hot = sum(1 for v in values if v < 100)
+        assert hot > len(values) * 0.4
+
+    def test_empty_keyspace_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0, random.Random(1))
+
+    @given(st.integers(min_value=1, max_value=5000), st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_always_in_range(self, items, seed):
+        gen = ZipfianGenerator(items, random.Random(seed))
+        assert all(0 <= gen.next() < items for _ in range(50))
+
+
+class TestLatestGenerator:
+    def test_prefers_recent_keys(self):
+        gen = LatestGenerator(1000, random.Random(4))
+        values = [gen.next() for _ in range(3000)]
+        recent = sum(1 for v in values if v > 900)
+        assert recent > len(values) * 0.4
+
+    def test_record_insert_extends_keyspace(self):
+        gen = LatestGenerator(10, random.Random(5))
+        for _ in range(50):
+            gen.record_insert()
+        values = [gen.next() for _ in range(500)]
+        assert max(values) > 10
+        assert all(v >= 0 for v in values)
+
+
+class TestWeightedChoice:
+    def test_respects_weights(self):
+        rng = random.Random(6)
+        picks = [weighted_choice(rng, [("a", 0.9), ("b", 0.1)]) for _ in range(1000)]
+        assert picks.count("a") > 700
+
+    def test_zero_total_weight_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_choice(random.Random(1), [("a", 0.0)])
