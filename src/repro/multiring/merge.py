@@ -23,7 +23,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
-from ..paxos.messages import ProposalValue
+from ..paxos.messages import SKIP, ProposalValue
 from ..ringpaxos.coordinator import PackedValues
 
 __all__ = ["DeterministicMerger"]
@@ -74,9 +74,21 @@ class DeterministicMerger:
     # ---------------------------------------------------------------- inputs
     def offer(self, group_id: int, instance: int, value: ProposalValue) -> None:
         """Feed the next ordered instance of ``group_id`` into the merge."""
-        if group_id not in self._queues:
+        queue = self._queues.get(group_id)
+        if queue is None:
             raise KeyError(f"not subscribed to group {group_id}")
-        self._queues[group_id].append((instance, value))
+        if not queue and self._groups[self._current_index] == group_id:
+            # Fast path (the only path for a single-ring learner): the offered
+            # instance is exactly what the round-robin would consume next, so
+            # emit it without bouncing through the deque.
+            self._emit(group_id, instance, value)
+            self._consumed_in_round += 1
+            if self._consumed_in_round >= self._m:
+                self._consumed_in_round = 0
+                self._current_index = (self._current_index + 1) % len(self._groups)
+                self._advance()
+            return
+        queue.append((instance, value))
         self._advance()
 
     def subscribe(self, group_id: int) -> None:
@@ -104,11 +116,14 @@ class DeterministicMerger:
                 self._current_index = (self._current_index + 1) % len(self._groups)
 
     def _emit(self, group: int, instance: int, value: ProposalValue) -> None:
-        if value.is_skip():
+        # Runs once per consumed instance: test the payload sentinel directly
+        # instead of going through ``is_skip()``.
+        payload = value.payload
+        if payload is SKIP:
             self._skipped += 1
             return
-        if isinstance(value.payload, PackedValues):
-            for packed in value.payload:
+        if isinstance(payload, PackedValues):
+            for packed in payload:
                 self._delivered += 1
                 self._on_deliver(group, instance, packed)
             return

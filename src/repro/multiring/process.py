@@ -135,12 +135,14 @@ class MultiRingProcess(Actor):
     # -------------------------------------------------------------- messages
     def on_message(self, sender: str, message: Any) -> None:
         ring_id = getattr(message, "ring_id", None)
-        if ring_id is not None and ring_id in self._nodes:
-            if isinstance(message, TrimQuery):
-                self._answer_trim_query(sender, message)
-                return
-            if self._nodes[ring_id].handle(sender, message):
-                return
+        if ring_id is not None:
+            node = self._nodes.get(ring_id)
+            if node is not None:
+                if isinstance(message, TrimQuery):
+                    self._answer_trim_query(sender, message)
+                    return
+                if node.handle(sender, message):
+                    return
         self.on_service_message(sender, message)
 
     def on_service_message(self, sender: str, message: Any) -> None:

@@ -83,6 +83,18 @@ class RingOverlay:
         self.coordinator = coordinator or acceptors[0]
         if self.coordinator not in self._by_name or not self._by_name[self.coordinator].acceptor:
             raise ValueError("coordinator must be an acceptor member of the ring")
+        # Ring geometry is immutable (reconfiguration builds a new overlay),
+        # so hop lookups — the per-message inner loop of ring circulation —
+        # are precomputed once instead of scanning the member list.
+        n = len(names)
+        self._index: Dict[str, int] = {name: i for i, name in enumerate(names)}
+        self._succ: Dict[str, str] = {name: names[(i + 1) % n] for i, name in enumerate(names)}
+        self._pred: Dict[str, str] = {name: names[(i - 1) % n] for i, name in enumerate(names)}
+        self._acceptors: List[str] = acceptors
+        self._learners: List[str] = [m.name for m in members if m.learner]
+        self._proposers: List[str] = [m.name for m in members if m.proposer]
+        self._majority: int = len(acceptors) // 2 + 1
+        self._last_acceptor_cache: Dict[str, str] = {}
 
     # --------------------------------------------------------------- queries
     @property
@@ -98,17 +110,17 @@ class RingOverlay:
     @property
     def acceptors(self) -> List[str]:
         """Acceptor names in ring order."""
-        return [m.name for m in self._members if m.acceptor]
+        return list(self._acceptors)
 
     @property
     def learners(self) -> List[str]:
         """Learner names in ring order."""
-        return [m.name for m in self._members if m.learner]
+        return list(self._learners)
 
     @property
     def proposers(self) -> List[str]:
         """Proposer names in ring order."""
-        return [m.name for m in self._members if m.proposer]
+        return list(self._proposers)
 
     @property
     def size(self) -> int:
@@ -125,29 +137,26 @@ class RingOverlay:
     # -------------------------------------------------------------- topology
     def successor(self, name: str) -> str:
         """The next process after ``name`` on the ring."""
-        idx = self._order.index(name)
-        return self._order[(idx + 1) % len(self._order)]
+        return self._succ[name]
 
     def predecessor(self, name: str) -> str:
         """The process before ``name`` on the ring."""
-        idx = self._order.index(name)
-        return self._order[(idx - 1) % len(self._order)]
+        return self._pred[name]
 
     def distance(self, src: str, dst: str) -> int:
         """Number of hops travelling from ``src`` to ``dst`` along the ring."""
-        i, j = self._order.index(src), self._order.index(dst)
-        return (j - i) % len(self._order)
+        return (self._index[dst] - self._index[src]) % len(self._order)
 
     def walk_from(self, start: str) -> List[str]:
         """Members visited walking one full turn starting after ``start``."""
-        idx = self._order.index(start)
+        idx = self._index[start]
         n = len(self._order)
         return [self._order[(idx + k) % n] for k in range(1, n + 1)]
 
     # -------------------------------------------------------------- quorums
     def majority(self) -> int:
         """Size of a majority quorum of acceptors."""
-        return len(self.acceptors) // 2 + 1
+        return self._majority
 
     def last_acceptor_for(self, coordinator: Optional[str] = None) -> str:
         """The acceptor that collects the final vote.
@@ -159,10 +168,14 @@ class RingOverlay:
         last acceptor.
         """
         start = coordinator or self.coordinator
+        cached = self._last_acceptor_cache.get(start)
+        if cached is not None:
+            return cached
         last = start
         for name in self.walk_from(start)[:-1]:
             if self._by_name[name].acceptor:
                 last = name
+        self._last_acceptor_cache[start] = last
         return last
 
     # ------------------------------------------------------------- mutation

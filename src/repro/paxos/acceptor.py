@@ -20,7 +20,7 @@ from ..sim.disk import Disk, StorageMode
 from ..storage.slots import SlotBuffer, SlotFullError
 from ..storage.wal import WriteAheadLog
 from .instance import Accepted, AcceptorInstance, Promise
-from .messages import ProposalValue
+from .messages import SKIP, ProposalValue
 
 __all__ = ["AcceptorState"]
 
@@ -91,31 +91,43 @@ class AcceptorState:
         instance: int,
         ballot: int,
         value: ProposalValue,
-        on_durable: Optional[Callable[[], None]] = None,
+        on_durable: Optional[Callable[..., None]] = None,
+        on_durable_args: tuple = (),
     ) -> Accepted:
         """Vote on ``value`` for ``instance`` and log the vote.
 
-        The durable-write callback fires when the vote is on stable storage;
-        with synchronous storage the caller must defer forwarding its Phase 2B
-        until then (this is what puts the device on the critical path).
+        The durable-write callback ``on_durable(*on_durable_args)`` fires when
+        the vote is on stable storage; with synchronous storage the caller
+        must defer forwarding its Phase 2B until then (this is what puts the
+        device on the critical path).  Passing the arguments separately lets
+        the per-hop ring path reuse one bound method instead of closing over
+        the message.
         """
         if instance <= self._trimmed_up_to:
             # The instance was already trimmed; it is necessarily decided, so
             # refuse the vote — recovering replicas must use checkpoints.
             return Accepted(accepted=False, ballot=ballot)
-        result = self._instance(instance).receive_phase2a(ballot, value)
-        if result.accepted and not value.is_skip():
+        inst = self._instances.get(instance)
+        if inst is None:
+            # Inlined _instance(): on the hot path nearly every vote touches a
+            # fresh instance, so the lookup above is almost always a miss.
+            inst = AcceptorInstance(instance)
+            inst.promised_ballot = self._range_promised
+            self._instances[instance] = inst
+        result = inst.receive_phase2a(ballot, value)
+        if result.accepted and value.payload is not SKIP:
             self.log.append(
-                instance=instance,
-                ballot=ballot,
-                value=value,
-                size_bytes=value.size_bytes,
-                on_durable=on_durable,
+                instance,
+                ballot,
+                value,
+                value.size_bytes,
+                on_durable,
+                on_durable_args,
             )
         elif on_durable is not None:
             # Skip votes carry no application data, so they never sit on the
             # synchronous-durability critical path.
-            self.env.simulator.schedule(0.0, on_durable)
+            self.env.simulator._post(0.0, on_durable, on_durable_args)
         return result
 
     def receive_phase2_range(
@@ -124,7 +136,8 @@ class AcceptorState:
         to_instance: int,
         ballot: int,
         value: ProposalValue,
-        on_durable: Optional[Callable[[], None]] = None,
+        on_durable: Optional[Callable[..., None]] = None,
+        on_durable_args: tuple = (),
     ) -> bool:
         """Vote on a contiguous range of instances sharing one value.
 
@@ -147,11 +160,12 @@ class AcceptorState:
                 value=value,
                 size_bytes=value.size_bytes,
                 on_durable=on_durable,
+                on_durable_args=on_durable_args,
             )
         elif on_durable is not None:
             # Skip ranges (rate leveling) never wait for the device: they
             # carry no application payload that could be lost.
-            self.env.simulator.schedule(0.0, on_durable)
+            self.env.simulator._post(0.0, on_durable, on_durable_args)
         return all_accepted
 
     def accepted_value(self, instance: int) -> Optional[ProposalValue]:
@@ -177,7 +191,7 @@ class AcceptorState:
         if instance <= self._trimmed_up_to:
             return
         self._decided[instance] = value
-        if not value.is_skip():
+        if value.payload is not SKIP:
             try:
                 self.slots.put(instance, value, value.size_bytes)
             except SlotFullError:

@@ -20,7 +20,7 @@ from .messages import ProposalValue
 __all__ = ["AcceptorInstance", "Promise", "Accepted", "InstanceLedger"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Promise:
     """Result of processing a Phase 1A message for one instance."""
 
@@ -30,9 +30,12 @@ class Promise:
     accepted_value: Optional[ProposalValue] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Accepted:
-    """Result of processing a Phase 2A message for one instance."""
+    """Result of processing a Phase 2A message for one instance.
+
+    ``slots=True``: one is allocated per vote on the ring hot path.
+    """
 
     accepted: bool
     ballot: int
@@ -129,17 +132,29 @@ class InstanceLedger:
     # -------------------------------------------------------------- decisions
     def decide(self, instance: int, value: ProposalValue) -> bool:
         """Record a decision; returns ``False`` if it was already known."""
-        if instance in self._decided:
+        decided = self._decided
+        if instance in decided:
             return False
-        self._decided[instance] = value
-        self.observe_instance(instance)
-        while (self._contiguous + 1) in self._decided:
+        decided[instance] = value
+        # Inlined observe_instance(): decide runs once per learned instance.
+        if instance >= self._next_instance:
+            self._next_instance = instance + 1
+        while (self._contiguous + 1) in decided:
             self._contiguous += 1
         return True
 
     def is_decided(self, instance: int) -> bool:
         """Whether a decision is known for ``instance``."""
         return instance in self._decided
+
+    @property
+    def decided_map(self) -> Dict[int, ProposalValue]:
+        """Read-only view of the decision map for hot-loop consumers.
+
+        Callers must not mutate it; :class:`~repro.ringpaxos.learner.RingLearner`
+        uses it to drain contiguous decisions without a method call per probe.
+        """
+        return self._decided
 
     def decision(self, instance: int) -> Optional[ProposalValue]:
         """The decided value of ``instance`` (``None`` when unknown)."""

@@ -49,7 +49,7 @@ class _Skip:
 SKIP = _Skip()
 
 
-@dataclass
+@dataclass(slots=True)
 class ProposalValue:
     """An application value wrapped for ordering.
 
@@ -145,16 +145,17 @@ class Phase2Ring(Message):
         return self.instance + self.span - 1
 
     def with_vote(self, acceptor: str) -> "Phase2Ring":
-        """A copy of the message with ``acceptor``'s vote appended."""
-        return Phase2Ring(
-            ring_id=self.ring_id,
-            instance=self.instance,
-            ballot=self.ballot,
-            value=self.value,
-            votes=self.votes + (acceptor,),
-            origin=self.origin,
-            span=self.span,
-        )
+        """A copy of the message with ``acceptor``'s vote appended.
+
+        Cloned by instance-dict copy (one per hop per instance): it skips
+        ``__init__``/``__post_init__`` re-deriving ``payload_bytes`` the copy
+        already has, while staying in sync with the field list automatically
+        (unlike a hand-written field-by-field copy).
+        """
+        clone = Phase2Ring.__new__(Phase2Ring)
+        clone.__dict__.update(self.__dict__)
+        clone.votes = self.votes + (acceptor,)
+        return clone
 
 
 @dataclass

@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..paxos.instance import InstanceLedger
-from ..paxos.messages import ProposalValue
+from ..paxos.messages import SKIP, ProposalValue
 
 __all__ = ["RingLearner"]
 
@@ -98,15 +98,26 @@ class RingLearner:
 
     # --------------------------------------------------------------- output
     def _drain(self) -> None:
-        while self._ledger.is_decided(self._next_to_emit):
-            value = self._ledger.decision(self._next_to_emit)
-            assert value is not None
+        # Inner loop of every delivery: read the ledger's decision map
+        # directly and hoist the loop-invariant lookups.  State attributes are
+        # still updated per iteration so reentrant callbacks (checkpointing
+        # reads ``next_to_emit``) observe the same intermediate states as
+        # before.
+        decided = self._ledger.decided_map
+        pending = self._pending_values
+        on_ordered = self._on_ordered
+        ring_id = self.ring_id
+        while True:
+            nxt = self._next_to_emit
+            value = decided.get(nxt)
+            if value is None:
+                return
             self._emitted += 1
-            if value.is_skip():
+            if value.payload is SKIP:
                 self._skipped += 1
-            self._on_ordered(self.ring_id, self._next_to_emit, value)
-            self._pending_values.pop(self._next_to_emit, None)
-            self._next_to_emit += 1
+            on_ordered(ring_id, nxt, value)
+            pending.pop(nxt, None)
+            self._next_to_emit = nxt + 1
 
     # ------------------------------------------------------------ inspection
     @property

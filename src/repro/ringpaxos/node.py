@@ -109,10 +109,12 @@ class RingNode:
         self.host = host
         self.overlay = overlay
         self.config = config or RingNodeConfig()
+        self._cpu_model = self.config.cpu_model
         member = overlay.member(host.name)
         self.is_proposer = member.proposer
         self.is_acceptor = member.acceptor
         self.is_learner = member.learner
+        self._refresh_ring_geometry()
 
         self.acceptor: Optional[AcceptorState] = None
         if self.is_acceptor:
@@ -139,6 +141,23 @@ class RingNode:
 
         self._started = False
         self._proposal_seq = 0
+        #: bound once: handed to the acceptor as the durability callback on
+        #: every vote (avoids a bound-method allocation per message)
+        self._after_own_vote_callback = self._after_own_vote
+
+    def _refresh_ring_geometry(self) -> None:
+        """Cache the per-message ring lookups; rerun when the overlay changes.
+
+        ``successor``, ``majority`` and ``last_acceptor`` are consulted on
+        every hop of every circulating message, so they are resolved once per
+        overlay installation instead of per message.
+        """
+        overlay = self.overlay
+        name = self.host.name
+        self._successor = overlay.successor(name)
+        self._majority = overlay.majority()
+        self._last_acceptor = overlay.last_acceptor_for(overlay.coordinator)
+        self._is_coordinator = overlay.coordinator == name
 
     # ------------------------------------------------------------ properties
     @property
@@ -149,12 +168,12 @@ class RingNode:
     @property
     def is_coordinator(self) -> bool:
         """Whether this process currently coordinates the ring."""
-        return self.overlay.coordinator == self.host.name
+        return self._is_coordinator
 
     @property
     def last_acceptor(self) -> str:
         """The acceptor that converts Phase 2 messages into decisions."""
-        return self.overlay.last_acceptor_for(self.overlay.coordinator)
+        return self._last_acceptor
 
     # ----------------------------------------------------------------- start
     def start(self) -> None:
@@ -211,22 +230,31 @@ class RingNode:
         return value
 
     def _forward_towards_coordinator(self, message: ValueForward) -> None:
-        self.host.send(self.overlay.successor(self.host.name), message)
+        self.host.send(self._successor, message)
 
     # ------------------------------------------------------------- dispatch
     def handle(self, sender: str, message: Any) -> bool:
-        """Process a ring message; returns ``False`` if the type is unknown."""
-        self._charge_cpu(message)
-        if isinstance(message, ValueForward):
+        """Process a ring message; returns ``False`` if the type is unknown.
+
+        The type checks are ordered hottest-first: Phase 2 and Decision
+        messages make up almost all ring traffic (one of each per hop per
+        instance), value forwards are next, and the Phase 1 / trim /
+        retransmit machinery only runs at startup, periodically or during
+        recovery.
+        """
+        # CPU accounting, inlined (one call per ring message): forwarding and
+        # voting both cost per-message and per-byte CPU on the hosting actor.
+        self.host.cpu.charge_message(self._cpu_model, getattr(message, "size_bytes", 0))
+        if isinstance(message, Phase2Ring):
+            self._handle_phase2(message)
+        elif isinstance(message, Decision):
+            self._handle_decision(message)
+        elif isinstance(message, ValueForward):
             self._handle_value_forward(message)
         elif isinstance(message, Phase1A):
             self._handle_phase1a(sender, message)
         elif isinstance(message, Phase1B):
             self._handle_phase1b(message)
-        elif isinstance(message, Phase2Ring):
-            self._handle_phase2(message)
-        elif isinstance(message, Decision):
-            self._handle_decision(message)
         elif isinstance(message, RetransmitRequest):
             self._handle_retransmit_request(message)
         elif isinstance(message, TrimQuery):
@@ -238,10 +266,6 @@ class RingNode:
         else:
             return False
         return True
-
-    def _charge_cpu(self, message: Any) -> None:
-        size = getattr(message, "size_bytes", 0)
-        self.host.cpu.charge_message(self.config.cpu_model, size)
 
     # ------------------------------------------------------- value forwarding
     def _handle_value_forward(self, message: ValueForward) -> None:
@@ -278,18 +302,28 @@ class RingNode:
                 self.learner.observe_value(i, value)
         assert self.acceptor is not None
 
-        def after_durable() -> None:
-            self._after_own_vote(message)
-
+        # The bound method + args tuple replaces a per-vote closure: this runs
+        # once per instance on the coordinator and once per hop on acceptors.
         if span == 1:
-            self.acceptor.receive_phase2(instance, message.ballot, value, on_durable=after_durable)
+            self.acceptor.receive_phase2(
+                instance,
+                message.ballot,
+                value,
+                on_durable=self._after_own_vote_callback,
+                on_durable_args=(message,),
+            )
         else:
             self.acceptor.receive_phase2_range(
-                instance, message.last_instance, message.ballot, value, on_durable=after_durable
+                instance,
+                message.last_instance,
+                message.ballot,
+                value,
+                on_durable=self._after_own_vote_callback,
+                on_durable_args=(message,),
             )
 
     def _after_own_vote(self, message: Phase2Ring) -> None:
-        if self.host.name == self.last_acceptor and len(message.votes) >= self.overlay.majority():
+        if self.host.name == self._last_acceptor and len(message.votes) >= self._majority:
             self._decide(message)
         else:
             self._forward_phase2(message)
@@ -331,18 +365,22 @@ class RingNode:
     # ----------------------------------------------------------------- phase 2
     def _handle_phase2(self, message: Phase2Ring) -> None:
         if self.is_learner and self.learner is not None and message.value is not None:
-            for instance in range(message.instance, message.last_instance + 1):
-                self.learner.observe_value(instance, message.value)
+            if message.span == 1:
+                # Almost every message covers one instance; skip the range.
+                self.learner.observe_value(message.instance, message.value)
+            else:
+                for instance in range(message.instance, message.last_instance + 1):
+                    self.learner.observe_value(instance, message.value)
 
         if self.is_acceptor and self.acceptor is not None and message.value is not None:
             voted = message.with_vote(self.host.name)
-
-            def after_durable() -> None:
-                self._after_own_vote(voted)
-
             if message.span == 1:
                 self.acceptor.receive_phase2(
-                    message.instance, message.ballot, message.value, on_durable=after_durable
+                    message.instance,
+                    message.ballot,
+                    message.value,
+                    on_durable=self._after_own_vote_callback,
+                    on_durable_args=(voted,),
                 )
             else:
                 self.acceptor.receive_phase2_range(
@@ -350,13 +388,14 @@ class RingNode:
                     message.last_instance,
                     message.ballot,
                     message.value,
-                    on_durable=after_durable,
+                    on_durable=self._after_own_vote_callback,
+                    on_durable_args=(voted,),
                 )
         else:
             self._forward_phase2(message)
 
     def _forward_phase2(self, message: Phase2Ring) -> None:
-        successor = self.overlay.successor(self.host.name)
+        successor = self._successor
         if successor != message.origin:
             self.host.send(successor, message)
 
@@ -379,23 +418,26 @@ class RingNode:
         self._forward_decision(message)
 
     def _learn_decision(self, message: Decision) -> None:
-        for instance in range(message.instance, message.last_instance + 1):
+        acceptor = self.acceptor if self.is_acceptor else None
+        learner = self.learner if self.is_learner else None
+        last_instance = message.instance if message.span == 1 else message.last_instance
+        for instance in range(message.instance, last_instance + 1):
             value = message.value
             if value is None and self.acceptor is not None:
                 value = self.acceptor.accepted_value(instance)
-            if self.is_acceptor and self.acceptor is not None and value is not None:
-                self.acceptor.record_decision(instance, value)
-            if self.is_learner and self.learner is not None:
-                self.learner.observe_decision(instance, value)
-        if self.is_coordinator and self.coordinator is not None:
-            self.coordinator.ledger.observe_instance(message.last_instance)
+            if acceptor is not None and value is not None:
+                acceptor.record_decision(instance, value)
+            if learner is not None:
+                learner.observe_decision(instance, value)
+        if self._is_coordinator and self.coordinator is not None:
+            self.coordinator.ledger.observe_instance(last_instance)
 
     def _forward_decision(self, message: Decision) -> None:
-        successor = self.overlay.successor(self.host.name)
+        successor = self._successor
         if successor == message.origin:
             return
         outgoing = message
-        if self.host.name == self.overlay.coordinator and message.carries_value:
+        if self._is_coordinator and message.carries_value:
             # Past the coordinator the value has already circulated with the
             # Phase 2 message; stop paying for it on the wire.
             outgoing = message.without_value()
@@ -486,6 +528,7 @@ class RingNode:
             raise ValueError("cannot install an overlay that excludes this process")
         was_coordinator = self.is_coordinator
         self.overlay = overlay
+        self._refresh_ring_geometry()
         if self.is_coordinator and (not was_coordinator or self.coordinator is None):
             self._become_coordinator()
 

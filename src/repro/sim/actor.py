@@ -44,7 +44,10 @@ class Environment:
     ) -> None:
         self.simulator = simulator or Simulator()
         self.streams = SeededStreams(seed)
-        self.metrics = MetricRegistry(clock=lambda: self.simulator.now)
+        sim = self.simulator
+        # Instruments read the clock on every sample; go straight to the
+        # kernel's time attribute instead of through the ``now`` property.
+        self.metrics = MetricRegistry(clock=lambda: sim._now)
         self.network: Optional["Network"] = None
         self.topology: Optional["Topology"] = None
         self._actors: Dict[str, "Actor"] = {}
@@ -65,6 +68,14 @@ class Environment:
     def actor(self, name: str) -> "Actor":
         """Look up a registered actor by name."""
         return self._actors[name]
+
+    def get_actor(self, name: str) -> Optional["Actor"]:
+        """Look up a registered actor, returning ``None`` when unknown.
+
+        Fast-path variant of :meth:`actor` used by the network so a miss does
+        not pay for exception handling.
+        """
+        return self._actors.get(name)
 
     def actors(self) -> List["Actor"]:
         """All registered actors (registration order)."""
@@ -94,6 +105,7 @@ class Timer:
         self._interval = interval
         self._callback = callback
         self._periodic = periodic
+        self._simulator = actor.env.simulator
         self._handle: Optional[EventHandle] = None
         self._cancelled = False
 
@@ -115,7 +127,7 @@ class Timer:
         return not self._cancelled and self._handle is not None
 
     def _schedule(self) -> None:
-        self._handle = self._actor.env.simulator.schedule(self._interval, self._fire)
+        self._handle = self._simulator.call_later(self._interval, self._fire)
 
     def _fire(self) -> None:
         if self._cancelled or not self._actor.alive:
@@ -145,6 +157,10 @@ class Actor:
         self.alive = True
         self.cpu = CpuAccount(name, clock=lambda: env.simulator.now)
         self._timers: List[Timer] = []
+        #: cached bound ``Network.send`` (resolved lazily: the network is
+        #: usually attached to the environment after actors are constructed)
+        self._cached_network: Optional["Network"] = None
+        self._network_send: Optional[Callable[[str, str, Any], None]] = None
         env.register(self)
 
     # ----------------------------------------------------------------- hooks
@@ -166,9 +182,15 @@ class Actor:
         """Send ``message`` to the actor named ``dest`` through the network."""
         if not self.alive:
             return
-        if self.env.network is None:
-            raise RuntimeError("environment has no network attached")
-        self.env.network.send(self.name, dest, message)
+        network = self.env.network
+        if network is not self._cached_network:
+            # First send, or the environment's network was swapped (tests do
+            # this): rebind the cached send entry point.
+            if network is None:
+                raise RuntimeError("environment has no network attached")
+            self._cached_network = network
+            self._network_send = network.send
+        self._network_send(self.name, dest, message)
 
     def deliver(self, sender: str, message: Any) -> None:
         """Entry point used by the network; drops messages while crashed."""

@@ -68,8 +68,15 @@ class CpuAccount:
         self._window_busy += seconds
 
     def charge_message(self, model: CpuCostModel, size_bytes: int, count: int = 1) -> None:
-        """Charge the cost of processing ``count`` messages totalling ``size_bytes``."""
-        self.charge(model.cost(count, size_bytes))
+        """Charge the cost of processing ``count`` messages totalling ``size_bytes``.
+
+        Runs once per protocol message, so the cost formula is inlined here
+        rather than going through :meth:`CpuCostModel.cost` + :meth:`charge`
+        (both operands are non-negative by construction).
+        """
+        cost = model.per_message * count + model.per_byte * size_bytes
+        self._busy += cost
+        self._window_busy += cost
 
     def reset_window(self) -> None:
         """Start a new utilisation measurement window at the current time."""

@@ -143,13 +143,17 @@ class Disk:
     def write(
         self,
         size_bytes: int,
-        on_complete: Optional[Callable[[], None]] = None,
+        on_complete: Optional[Callable[..., None]] = None,
+        on_complete_args: tuple = (),
     ) -> float:
         """Issue a write of ``size_bytes``.
 
         Returns the simulation time at which the write will be durable and, if
-        provided, schedules ``on_complete`` at that time.  The caller decides
-        whether to wait (synchronous mode) or continue (asynchronous mode).
+        provided, schedules ``on_complete(*on_complete_args)`` at that time.
+        The caller decides whether to wait (synchronous mode) or continue
+        (asynchronous mode).  Passing the callback's arguments separately lets
+        hot paths reuse one bound method instead of building a closure per
+        write.
         """
         if size_bytes < 0:
             raise ValueError("size_bytes must be non-negative")
@@ -161,7 +165,7 @@ class Disk:
         self._bytes_written += size_bytes
         self._writes += 1
         if on_complete is not None:
-            self.env.simulator.schedule(finish - now, on_complete)
+            self.env.simulator._post(finish - now, on_complete, on_complete_args)
         return finish
 
     def queue_delay(self) -> float:

@@ -8,23 +8,47 @@ event.
 
 Design notes
 ------------
-* Events are kept in a binary heap keyed by ``(time, priority, seq)``.  The
-  monotonically increasing ``seq`` makes the ordering of simultaneous events
-  deterministic, which in turn makes every experiment reproducible from its
-  seed.
+* Events are kept in a binary heap of plain ``(time, priority, seq)`` keyed
+  tuples.  The monotonically increasing ``seq`` makes the ordering of
+  simultaneous events deterministic, which in turn makes every experiment
+  reproducible from its seed.
 * The kernel knows nothing about networks, disks or protocols; those are
   layered on top (see :mod:`repro.sim.network` and :mod:`repro.sim.disk`).
 * Time is a ``float`` in **seconds**.  Helpers for milliseconds/microseconds
   are provided because protocol parameters in the paper are expressed in
   milliseconds (e.g. ``Δ = 5 ms``).
+
+Performance notes
+-----------------
+Every simulated message translates into at least one kernel event, so the
+events/second of this module caps the throughput of the whole reproduction
+(see ``benchmarks/bench_kernel.py``).  The hot path therefore avoids the
+conveniences the original implementation used:
+
+* :class:`Event` is a ``__slots__`` class, not an ``order=True`` dataclass;
+  heap entries are ``(time, priority, seq, event)`` tuples so heap sifting
+  compares C-level tuples instead of calling a generated ``__lt__``.
+* :meth:`Simulator.call_later` is the keyword-free fast path used by timers:
+  it never allocates a per-call ``kwargs`` dict.  The internal
+  :meth:`Simulator._post` goes further for fire-and-forget work (message
+  delivery, durability callbacks): its heap entries are plain
+  ``(time, priority, seq, callback, args)`` tuples with no Event or handle
+  at all.
+* The run loop peeks/pops inline with hoisted locals instead of delegating to
+  ``_peek_next`` + ``step`` (which scanned the heap head twice per event).
+* Cancelled events are removed lazily; when more than half the queue is dead
+  the heap is compacted in place, so long runs with many cancelled timers do
+  not degrade.
+
+Observable semantics (delivery order for a given seed, the public API, error
+behaviour) are identical to the original kernel — ``repro.sim.legacy`` keeps
+a snapshot of the original for differential tests.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, List, Optional, Tuple
 
 __all__ = [
     "Event",
@@ -54,31 +78,51 @@ class SimulationError(RuntimeError):
     """
 
 
-@dataclass(order=True)
 class Event:
     """A single scheduled callback.
 
-    Events compare by ``(time, priority, seq)`` so that the heap pops them in
-    deterministic order.  The callback and its arguments do not participate in
-    ordering.
+    Events are ordered by the ``(time, priority, seq)`` prefix of the heap
+    tuple they ride in; the callback and its arguments do not participate in
+    ordering.  ``kwargs`` is ``None`` (not an empty dict) for events scheduled
+    through the fast path.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    kwargs: dict = field(compare=False, default_factory=dict)
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "priority", "seq", "callback", "args", "kwargs", "cancelled", "fired")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs
+        self.cancelled = False
+        self.fired = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (other.time, other.priority, other.seq)
+
+
+#: Heap entry type: ``(time, priority, seq, event)``.
+_Entry = Tuple[float, int, int, Event]
 
 
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule` allowing cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: Event) -> None:
+    def __init__(self, event: Event, sim: "Simulator") -> None:
         self._event = event
+        self._sim = sim
 
     @property
     def time(self) -> float:
@@ -96,7 +140,14 @@ class EventHandle:
         Cancelling an event that already fired or was already cancelled is a
         no-op; this mirrors the semantics of ``threading.Timer.cancel``.
         """
-        self._event.cancelled = True
+        event = self._event
+        if not event.cancelled:
+            event.cancelled = True
+            # A fired event no longer sits in the queue; counting it toward
+            # the compaction trigger would cause spurious full-heap scans
+            # (e.g. Actor.crash cancelling long-fired one-shot timers).
+            if not event.fired:
+                self._sim._note_cancelled()
 
 
 class Simulator:
@@ -119,10 +170,14 @@ class Simulator:
     1.5
     """
 
+    #: Minimum number of cancellations before a compaction is considered.
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._queue: List[Event] = []
-        self._seq = itertools.count()
+        self._queue: List[_Entry] = []
+        self._seq = 0
+        self._cancelled = 0
         self._running = False
         self._stopped = False
         self._processed = 0
@@ -141,9 +196,53 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of events still queued (including cancelled ones)."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        return sum(
+            1
+            for entry in self._queue
+            if entry[3].__class__ is not Event or not entry[3].cancelled
+        )
 
     # ------------------------------------------------------------- scheduling
+    def _post(self, delay: float, callback: Callable[..., None], args: tuple = ()) -> None:
+        """Cheapest scheduling path: no handle, no Event, pre-built args tuple.
+
+        Used by fire-and-forget hot paths (message delivery, durability
+        callbacks) that never cancel: the heap entry is a plain
+        ``(time, 0, seq, callback, args)`` tuple, skipping the ``*args``
+        re-pack, the :class:`Event` and the :class:`EventHandle` of
+        :meth:`call_later`.  Ordering is identical — the heap only ever
+        compares the unique ``(time, priority, seq)`` prefix.  Negative delays
+        are a caller bug on these internal paths, but are still rejected to
+        keep the kernel invariant.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._queue, (self._now + delay, 0, seq, callback, args))
+
+    def call_later(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Fast-path :meth:`schedule`: positional arguments only.
+
+        Identical semantics to ``schedule(delay, callback, *args)`` but never
+        allocates a keyword-argument dict; this is the entry point the
+        network, disk and timer layers use for every simulated message.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        seq = self._seq
+        self._seq = seq + 1
+        time = self._now + delay
+        event = Event(time, priority, seq, callback, args)
+        heappush(self._queue, (time, priority, seq, event))
+        return EventHandle(event, self)
+
     def schedule(
         self,
         delay: float,
@@ -160,16 +259,12 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
-        event = Event(
-            time=self._now + delay,
-            priority=priority,
-            seq=next(self._seq),
-            callback=callback,
-            args=args,
-            kwargs=kwargs,
-        )
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        seq = self._seq
+        self._seq = seq + 1
+        time = self._now + delay
+        event = Event(time, priority, seq, callback, args, kwargs or None)
+        heappush(self._queue, (time, priority, seq, event))
+        return EventHandle(event, self)
 
     def schedule_at(
         self,
@@ -193,13 +288,27 @@ class Simulator:
         Returns ``True`` if an event was executed, ``False`` if the queue is
         empty (cancelled events are skipped silently).
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self._processed += 1
-            event.callback(*event.args, **event.kwargs)
+        queue = self._queue
+        while queue:
+            entry = heappop(queue)
+            head = entry[3]
+            if head.__class__ is Event:
+                if head.cancelled:
+                    if self._cancelled:
+                        self._cancelled -= 1
+                    continue
+                self._now = entry[0]
+                self._processed += 1
+                head.fired = True
+                kwargs = head.kwargs
+                if kwargs is None:
+                    head.callback(*head.args)
+                else:
+                    head.callback(*head.args, **kwargs)
+            else:
+                self._now = entry[0]
+                self._processed += 1
+                head(*entry[4])
             return True
         return False
 
@@ -221,19 +330,49 @@ class Simulator:
         """
         self._running = True
         self._stopped = False
+        queue = self._queue
+        pop = heappop
         executed = 0
+        unbounded = max_events is None
         try:
-            while self._queue and not self._stopped:
-                next_event = self._peek_next()
-                if next_event is None:
-                    break
-                if until is not None and next_event.time > until:
-                    self._now = until
-                    break
-                self.step()
-                executed += 1
-                if max_events is not None and executed >= max_events:
-                    break
+            while queue and not self._stopped:
+                entry = queue[0]
+                head = entry[3]
+                # Two heap-entry layouts: (time, prio, seq, Event) from the
+                # public schedulers, (time, prio, seq, callback, args) from
+                # the fire-and-forget _post path.
+                if head.__class__ is Event:
+                    if head.cancelled:
+                        pop(queue)
+                        if self._cancelled:
+                            self._cancelled -= 1
+                        continue
+                    time = entry[0]
+                    if until is not None and time > until:
+                        self._now = until
+                        break
+                    pop(queue)
+                    self._now = time
+                    self._processed += 1
+                    head.fired = True
+                    kwargs = head.kwargs
+                    if kwargs is None:
+                        head.callback(*head.args)
+                    else:
+                        head.callback(*head.args, **kwargs)
+                else:
+                    time = entry[0]
+                    if until is not None and time > until:
+                        self._now = until
+                        break
+                    pop(queue)
+                    self._now = time
+                    self._processed += 1
+                    head(*entry[4])
+                if not unbounded:
+                    executed += 1
+                    if executed >= max_events:
+                        break
             else:
                 if until is not None and self._now < until and not self._stopped:
                     self._now = until
@@ -245,11 +384,37 @@ class Simulator:
         """Stop the run loop after the current event finishes."""
         self._stopped = True
 
-    def _peek_next(self) -> Optional[Event]:
-        """Return the next non-cancelled event without popping it."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0] if self._queue else None
+    # ----------------------------------------------------------- compaction
+    def _note_cancelled(self) -> None:
+        """Record a cancellation; compact the heap when mostly dead.
+
+        Cancelled events are normally skipped lazily when they reach the heap
+        top.  A workload that arms and cancels many long-dated timers (e.g.
+        per-message retransmission timers) would otherwise accumulate dead
+        entries, inflating every push/pop; once dead entries plausibly exceed
+        half the queue the heap is rebuilt in place.  The counter may
+        overcount (cancelling an already-fired event is a no-op on the queue)
+        which at worst triggers a harmless extra compaction.
+        """
+        self._cancelled += 1
+        if (
+            self._cancelled >= self.COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (in place: run() holds a ref)."""
+        queue = self._queue
+        live = [
+            entry
+            for entry in queue
+            if entry[3].__class__ is not Event or not entry[3].cancelled
+        ]
+        if len(live) != len(queue):
+            queue[:] = live
+            heapify(queue)
+        self._cancelled = 0
 
     # ------------------------------------------------------------------ misc
     def drain(self, horizon: float) -> None:
@@ -261,6 +426,7 @@ class Simulator:
         if horizon < self._now:
             raise SimulationError("cannot drain to a time in the past")
         self._queue.clear()
+        self._cancelled = 0
         self._now = horizon
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

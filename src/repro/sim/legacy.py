@@ -1,0 +1,291 @@
+"""Frozen seed-snapshot of the kernel and network (pre-fast-path).
+
+This module preserves the original, straightforward implementations of
+:class:`~repro.sim.kernel.Simulator` and :class:`~repro.sim.network.Network`
+exactly as they shipped in the seed commit, for two purposes:
+
+* **differential testing** — ``tests/sim/test_kernel_fastpath.py`` runs the
+  same seeded workload on both implementations and asserts bit-identical
+  delivery sequences, proving the fast path changed no observable semantics;
+* **benchmarking** — ``benchmarks/bench_kernel.py`` measures the fast path's
+  speedup against this snapshot and records it in ``BENCH_kernel.json``.
+
+Do not "optimise" this module: its value is that it stays identical to the
+seed.  The only addition is :meth:`LegacySimulator.call_later`, a shim that
+routes the fast-path entry point through the original ``schedule`` (with its
+per-call kwargs dict) so seed-era costs are measured faithfully when newer
+call sites run against the snapshot.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from .topology import Topology
+
+__all__ = ["LegacyEvent", "LegacyEventHandle", "LegacySimulator", "LegacyNetwork"]
+
+
+class SimulationError(RuntimeError):
+    """Seed-snapshot copy of :class:`repro.sim.kernel.SimulationError`."""
+
+
+@dataclass(order=True)
+class LegacyEvent:
+    """Seed-snapshot event: an ``order=True`` dataclass compared per sift."""
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    kwargs: dict = field(compare=False, default_factory=dict)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class LegacyEventHandle:
+    """Seed-snapshot cancellation handle."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: LegacyEvent) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+
+class LegacySimulator:
+    """Seed-snapshot simulator: heap of dataclass events, peek-then-step loop."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: List[LegacyEvent] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+        **kwargs: Any,
+    ) -> LegacyEventHandle:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        event = LegacyEvent(
+            time=self._now + delay,
+            priority=priority,
+            seq=next(self._seq),
+            callback=callback,
+            args=args,
+            kwargs=kwargs,
+        )
+        heapq.heappush(self._queue, event)
+        return LegacyEventHandle(event)
+
+    def call_later(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> LegacyEventHandle:
+        """Compatibility shim: the seed had no fast path — route to schedule."""
+        return self.schedule(delay, callback, *args, priority=priority)
+
+    def _post(self, delay: float, callback: Callable[..., None], args: tuple = ()) -> None:
+        """Compatibility shim for the fire-and-forget fast path."""
+        self.schedule(delay, callback, *args)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+        **kwargs: Any,
+    ) -> LegacyEventHandle:
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} which is before now={self._now}"
+            )
+        return self.schedule(time - self._now, callback, *args, priority=priority, **kwargs)
+
+    def step(self) -> bool:
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback(*event.args, **event.kwargs)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._queue and not self._stopped:
+                next_event = self._peek_next()
+                if next_event is None:
+                    break
+                if until is not None and next_event.time > until:
+                    self._now = until
+                    break
+                self.step()
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+            else:
+                if until is not None and self._now < until and not self._stopped:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _peek_next(self) -> Optional[LegacyEvent]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
+    def drain(self, horizon: float) -> None:
+        if horizon < self._now:
+            raise SimulationError("cannot drain to a time in the past")
+        self._queue.clear()
+        self._now = horizon
+
+
+def _message_size(message: Any, default: int = 128) -> int:
+    size = getattr(message, "size_bytes", None)
+    if size is None:
+        return default
+    return int(size)
+
+
+class LegacyNetwork:
+    """Seed-snapshot network: per-send actor/topology lookups, no caches."""
+
+    HEADER_BYTES = 66
+
+    def __init__(
+        self,
+        env: Any,
+        topology: Topology,
+        jitter_fraction: float = 0.05,
+    ) -> None:
+        from .network import MessageStats
+
+        self.env = env
+        self.topology = topology
+        self.stats = MessageStats()
+        self._jitter = jitter_fraction
+        self._rng = env.streams.stream("network.jitter")
+        self._channel_free_at: Dict[Tuple[str, str], float] = {}
+        self._last_delivery_at: Dict[Tuple[str, str], float] = {}
+        self._cut_links: Set[Tuple[str, str]] = set()
+        self._isolated_sites: Set[str] = set()
+        env.network = self
+        env.topology = topology
+
+    def send(self, src: str, dst: str, message: Any) -> None:
+        if not self.env.has_actor(dst):
+            self.stats.record_drop()
+            return
+        src_actor = self.env.actor(src)
+        dst_actor = self.env.actor(dst)
+        src_site, dst_site = src_actor.site, dst_actor.site
+
+        if self._blocked(src_site, dst_site):
+            self.stats.record_drop()
+            return
+
+        size = _message_size(message) + self.HEADER_BYTES
+        delay = self._delivery_delay(src_site, dst_site, size)
+        now = self.env.simulator.now
+        connection = (src, dst)
+        delivery_at = max(now + delay, self._last_delivery_at.get(connection, 0.0))
+        self._last_delivery_at[connection] = delivery_at
+        self.stats.record(size)
+        self.env.simulator.schedule(delivery_at - now, self._deliver, src, dst, message)
+
+    def _deliver(self, src: str, dst: str, message: Any) -> None:
+        if not self.env.has_actor(dst):
+            self.stats.record_drop()
+            return
+        actor = self.env.actor(dst)
+        if not actor.alive:
+            self.stats.record_drop()
+            return
+        actor.deliver(src, message)
+
+    def _delivery_delay(self, src_site: str, dst_site: str, size_bytes: int) -> float:
+        propagation = self.topology.latency(src_site, dst_site)
+        bandwidth = self.topology.bandwidth(src_site, dst_site)
+        transmission = (size_bytes * 8.0) / bandwidth
+        jitter = 0.0
+        if self._jitter > 0:
+            jitter = propagation * self._jitter * self._rng.random()
+
+        key = (src_site, dst_site)
+        now = self.env.simulator.now
+        free_at = max(self._channel_free_at.get(key, now), now)
+        start = free_at
+        finish = start + transmission
+        self._channel_free_at[key] = finish
+        return (finish - now) + propagation + jitter
+
+    def _blocked(self, src_site: str, dst_site: str) -> bool:
+        if src_site in self._isolated_sites or dst_site in self._isolated_sites:
+            return True
+        return (src_site, dst_site) in self._cut_links
+
+    def partition(self, site_a: str, site_b: str, bidirectional: bool = True) -> None:
+        self._cut_links.add((site_a, site_b))
+        if bidirectional:
+            self._cut_links.add((site_b, site_a))
+
+    def heal(self, site_a: str, site_b: str) -> None:
+        self._cut_links.discard((site_a, site_b))
+        self._cut_links.discard((site_b, site_a))
+
+    def isolate_site(self, site: str) -> None:
+        self._isolated_sites.add(site)
+
+    def rejoin_site(self, site: str) -> None:
+        self._isolated_sites.discard(site)
+
+    def heal_all(self) -> None:
+        self._cut_links.clear()
+        self._isolated_sites.clear()

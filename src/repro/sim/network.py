@@ -14,11 +14,29 @@ other, which is what creates the throughput ceilings in Figures 3, 6 and 7.
 Fault injection: links can be cut (``partition``) and healed, and whole sites
 can be isolated, supporting the recovery experiment (Figure 8) and the
 failure-injection tests.
+
+Performance notes
+-----------------
+``send`` sits on the per-hop inner loop of every ring, so it avoids repeated
+name and topology resolution:
+
+* a flat ``(src_site, dst_site) → (latency, 1/bandwidth, shared channel)``
+  table is precomputed from the topology at construction (site pairs without
+  a defined link still raise ``KeyError`` on first use, as before);
+* each directed actor pair resolves src/dst actors, sites and channel exactly
+  once, into a ``__slots__`` connection record reused for every later send;
+* fault checks are skipped entirely while no partition/isolation is active;
+* the jitter RNG is only drawn when ``jitter_fraction > 0`` (the stream and
+  draw order are unchanged, preserving seeded reproducibility).
+
+``repro.sim.legacy.LegacyNetwork`` keeps the original implementation for
+differential tests and the kernel benchmark.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heappush
 from typing import Any, Dict, Optional, Set, Tuple
 
 from .actor import Environment
@@ -58,6 +76,39 @@ class MessageStats:
         self.dropped += 1
 
 
+class _Channel:
+    """Shared state of one directed site pair: link parameters + occupancy.
+
+    Bandwidth is stored as-is (not as a reciprocal): delivery times must be
+    bit-identical to the seed implementation — a reciprocal multiply differs
+    from the division by an ulp often enough to reorder mathematically
+    simultaneous events, breaking seed-differential determinism.
+    """
+
+    __slots__ = ("latency", "bandwidth", "free_at")
+
+    def __init__(self, latency: float, bandwidth_bps: float) -> None:
+        self.latency = latency
+        self.bandwidth = bandwidth_bps
+        #: next time the channel is free (FIFO occupancy)
+        self.free_at = 0.0
+
+
+class _Connection:
+    """Resolved state of one directed actor pair, built on first send."""
+
+    __slots__ = ("dst_actor", "src_site", "dst_site", "channel", "last_delivery_at")
+
+    def __init__(self, dst_actor: Any, src_site: str, dst_site: str, channel: _Channel) -> None:
+        self.dst_actor = dst_actor
+        self.src_site = src_site
+        self.dst_site = dst_site
+        self.channel = channel
+        #: last scheduled delivery time on this connection, enforcing TCP-like
+        #: FIFO order even in the presence of jitter
+        self.last_delivery_at = 0.0
+
+
 class Network:
     """Delivers messages between registered actors according to a topology."""
 
@@ -75,17 +126,39 @@ class Network:
         self.stats = MessageStats()
         self._jitter = jitter_fraction
         self._rng = env.streams.stream("network.jitter")
-        #: next time each directed (src_site, dst_site) pair's channel is free
-        self._channel_free_at: Dict[Tuple[str, str], float] = {}
-        #: last scheduled delivery time per (src_actor, dst_actor) connection,
-        #: used to enforce TCP-like FIFO order even in the presence of jitter
-        self._last_delivery_at: Dict[Tuple[str, str], float] = {}
+        self._rng_random = self._rng.random
+        self._simulator = env.simulator
+        #: bound once: referenced on every send, stored into the heap entry
+        self._deliver_callback = self._deliver
+        #: flat link table: directed (src_site, dst_site) → shared channel
+        self._channels: Dict[Tuple[str, str], _Channel] = {}
+        #: resolved directed actor pairs
+        self._connections: Dict[Tuple[str, str], _Connection] = {}
         #: severed directed site pairs
         self._cut_links: Set[Tuple[str, str]] = set()
         #: isolated sites (all traffic in/out dropped)
         self._isolated_sites: Set[str] = set()
+        #: fast-path guard: True while any partition/isolation is active
+        self._has_faults = False
+        self._precompute_channels()
         env.network = self
         env.topology = topology
+
+    def _precompute_channels(self) -> None:
+        """Build the flat site-pair table for every link the topology defines.
+
+        Pairs without a defined link are left out so that using them still
+        raises ``KeyError`` lazily, exactly like the original per-send lookup.
+        """
+        names = [site.name for site in self.topology.sites()]
+        for a in names:
+            for b in names:
+                try:
+                    self._channels[(a, b)] = _Channel(
+                        self.topology.latency(a, b), self.topology.bandwidth(a, b)
+                    )
+                except KeyError:
+                    continue
 
     # ------------------------------------------------------------------ send
     def send(self, src: str, dst: str, message: Any) -> None:
@@ -95,61 +168,97 @@ class Network:
         like TCP connections to a dead host, the sender finds out through the
         protocol's own timeouts, not through the transport.
         """
-        if not self.env.has_actor(dst):
+        conn = self._connections.get((src, dst))
+        if conn is None:
+            conn = self._resolve(src, dst)
+            if conn is None:
+                self.stats.record_drop()
+                return
+        if self._has_faults and self._blocked(conn.src_site, conn.dst_site):
             self.stats.record_drop()
             return
-        src_actor = self.env.actor(src)
-        dst_actor = self.env.actor(dst)
-        src_site, dst_site = src_actor.site, dst_actor.site
 
-        if self._blocked(src_site, dst_site):
-            self.stats.record_drop()
-            return
-
-        size = message_size(message) + self.HEADER_BYTES
-        delay = self._delivery_delay(src_site, dst_site, size)
+        size = getattr(message, "size_bytes", 128) + self.HEADER_BYTES
+        channel = conn.channel
+        now = self._simulator._now
+        # The arithmetic below mirrors the seed's _delivery_delay expression
+        # term for term (same operations, same association) so that delivery
+        # timestamps — and therefore event order — stay bit-identical.
+        propagation = channel.latency
+        transmission = (size * 8.0) / channel.bandwidth
+        jitter = 0.0
+        if self._jitter > 0:
+            jitter = propagation * self._jitter * self._rng_random()
+        # FIFO channel occupancy: a message cannot start transmitting before
+        # the previous message on the same directed site pair finished.
+        free_at = channel.free_at
+        start = free_at if free_at > now else now
+        finish = start + transmission
+        channel.free_at = finish
+        delay = (finish - now) + propagation + jitter
         # Messages between the same two processes travel on one TCP
         # connection: never deliver them out of order, whatever the jitter.
-        now = self.env.simulator.now
-        connection = (src, dst)
-        delivery_at = max(now + delay, self._last_delivery_at.get(connection, 0.0))
-        self._last_delivery_at[connection] = delivery_at
-        self.stats.record(size)
-        self.env.simulator.schedule(delivery_at - now, self._deliver, src, dst, message)
+        delivery_at = now + delay
+        if delivery_at < conn.last_delivery_at:
+            delivery_at = conn.last_delivery_at
+        conn.last_delivery_at = delivery_at
+        stats = self.stats
+        stats.messages += 1
+        stats.bytes += size
+        # Inlined Simulator._post (one event per message): same entry layout
+        # and the same ``now + delay`` arithmetic, one call less per send.
+        sim = self._simulator
+        seq = sim._seq
+        sim._seq = seq + 1
+        heappush(
+            sim._queue,
+            (now + (delivery_at - now), 0, seq, self._deliver_callback, (conn, src, message)),
+        )
 
-    def _deliver(self, src: str, dst: str, message: Any) -> None:
-        if not self.env.has_actor(dst):
-            self.stats.record_drop()
-            return
-        actor = self.env.actor(dst)
+    def _resolve(self, src: str, dst: str) -> Optional[_Connection]:
+        """Build the connection record for a directed actor pair.
+
+        Returns ``None`` when the destination is unknown (the caller records
+        the drop).  An unknown *source* raises ``KeyError`` as it always did —
+        actors only send under their own registered name.
+        """
+        env = self.env
+        dst_actor = env.get_actor(dst)
+        if dst_actor is None:
+            return None
+        src_site = env.actor(src).site
+        dst_site = dst_actor.site
+        channel = self._channels.get((src_site, dst_site))
+        if channel is None:
+            # Site pair not in the precomputed table (e.g. a site added after
+            # construction): resolve through the topology, raising KeyError
+            # for undefined links exactly like the per-send lookup used to.
+            channel = _Channel(
+                self.topology.latency(src_site, dst_site),
+                self.topology.bandwidth(src_site, dst_site),
+            )
+            self._channels[(src_site, dst_site)] = channel
+        conn = _Connection(dst_actor, src_site, dst_site, channel)
+        self._connections[(src, dst)] = conn
+        return conn
+
+    def _deliver(self, conn: _Connection, src: str, message: Any) -> None:
+        actor = conn.dst_actor
         if not actor.alive:
             self.stats.record_drop()
             return
-        actor.deliver(src, message)
+        # Equivalent to actor.deliver(src, message) minus its (already
+        # performed) aliveness check — one call layer less per delivery.
+        actor.on_message(src, message)
 
     # ----------------------------------------------------------------- model
-    def _delivery_delay(self, src_site: str, dst_site: str, size_bytes: int) -> float:
-        propagation = self.topology.latency(src_site, dst_site)
-        bandwidth = self.topology.bandwidth(src_site, dst_site)
-        transmission = (size_bytes * 8.0) / bandwidth
-        jitter = 0.0
-        if self._jitter > 0:
-            jitter = propagation * self._jitter * self._rng.random()
-
-        # FIFO channel occupancy: a message cannot start transmitting before
-        # the previous message on the same directed site pair finished.
-        key = (src_site, dst_site)
-        now = self.env.simulator.now
-        free_at = max(self._channel_free_at.get(key, now), now)
-        start = free_at
-        finish = start + transmission
-        self._channel_free_at[key] = finish
-        return (finish - now) + propagation + jitter
-
     def _blocked(self, src_site: str, dst_site: str) -> bool:
         if src_site in self._isolated_sites or dst_site in self._isolated_sites:
             return True
         return (src_site, dst_site) in self._cut_links
+
+    def _update_fault_flag(self) -> None:
+        self._has_faults = bool(self._cut_links or self._isolated_sites)
 
     # -------------------------------------------------------- fault injection
     def partition(self, site_a: str, site_b: str, bidirectional: bool = True) -> None:
@@ -157,21 +266,26 @@ class Network:
         self._cut_links.add((site_a, site_b))
         if bidirectional:
             self._cut_links.add((site_b, site_a))
+        self._update_fault_flag()
 
     def heal(self, site_a: str, site_b: str) -> None:
         """Restore the link between two sites."""
         self._cut_links.discard((site_a, site_b))
         self._cut_links.discard((site_b, site_a))
+        self._update_fault_flag()
 
     def isolate_site(self, site: str) -> None:
         """Drop every message to or from ``site``."""
         self._isolated_sites.add(site)
+        self._update_fault_flag()
 
     def rejoin_site(self, site: str) -> None:
         """Undo :meth:`isolate_site`."""
         self._isolated_sites.discard(site)
+        self._update_fault_flag()
 
     def heal_all(self) -> None:
         """Remove every partition and isolation."""
         self._cut_links.clear()
         self._isolated_sites.clear()
+        self._update_fault_flag()

@@ -25,9 +25,12 @@ class SlotFullError(RuntimeError):
     """
 
 
-@dataclass
+@dataclass(slots=True)
 class SlotEntry:
-    """One stored consensus instance value."""
+    """One stored consensus instance value.
+
+    ``slots=True``: one is allocated per decided instance on the ring path.
+    """
 
     instance: int
     value: Any

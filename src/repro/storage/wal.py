@@ -27,9 +27,12 @@ __all__ = ["LogRecord", "WriteAheadLog"]
 _RECORD_OVERHEAD = 64
 
 
-@dataclass
+@dataclass(slots=True)
 class LogRecord:
-    """One durable record: the acceptor's vote for one consensus instance."""
+    """One durable record: the acceptor's vote for one consensus instance.
+
+    ``slots=True``: one is allocated per logged vote on the ring hot path.
+    """
 
     instance: int
     ballot: int
@@ -68,6 +71,7 @@ class WriteAheadLog:
         self.env = env
         self.mode = mode
         self.name = name
+        self._simulator = env.simulator
         profile = profile_for_mode(mode)
         self.disk: Optional[Disk] = None
         if profile is not None:
@@ -76,6 +80,9 @@ class WriteAheadLog:
         self._pending: List[LogRecord] = []
         self._flush_interval = flush_interval
         self._flush_scheduled = False
+        # Mode flags resolved once: append() runs per vote on the ring path.
+        self._memory_mode = mode is StorageMode.IN_MEMORY or self.disk is None
+        self._synchronous = mode.synchronous
         self._durable_up_to_bytes = 0
         self._lost_on_crash = 0
 
@@ -86,40 +93,47 @@ class WriteAheadLog:
         ballot: int,
         value: Any,
         size_bytes: int,
-        on_durable: Optional[Callable[[], None]] = None,
+        on_durable: Optional[Callable[..., None]] = None,
+        on_durable_args: tuple = (),
     ) -> Optional[float]:
         """Record the acceptor's vote for ``instance``.
 
         Returns the simulation time at which the record is durable for
-        synchronous modes (``on_durable`` fires then), or ``None`` for
-        in-memory and asynchronous modes (``on_durable`` fires immediately in
-        that case because the caller does not wait for durability).
+        synchronous modes (``on_durable(*on_durable_args)`` fires then), or
+        ``None`` for in-memory and asynchronous modes (``on_durable`` fires
+        immediately in that case because the caller does not wait for
+        durability).  The separate args tuple lets the per-hop ring path pass
+        a bound method instead of allocating a closure per vote.
         """
-        record = LogRecord(instance=instance, ballot=ballot, value=value, size_bytes=size_bytes)
+        record = LogRecord(instance, ballot, value, size_bytes)
         self._records[instance] = record
 
-        if self.mode is StorageMode.IN_MEMORY or self.disk is None:
+        if self._memory_mode:
             if on_durable is not None:
-                self.env.simulator.schedule(0.0, on_durable)
+                self._simulator._post(0.0, on_durable, on_durable_args)
             return None
 
-        if self.mode.synchronous:
+        if self._synchronous:
             # Synchronous mode with batching disabled: one device write per
             # record (Section 8.2).
-            return self.disk.write(size_bytes + _RECORD_OVERHEAD, on_complete=on_durable)
+            return self.disk.write(
+                size_bytes + _RECORD_OVERHEAD,
+                on_complete=on_durable,
+                on_complete_args=on_durable_args,
+            )
 
         # Asynchronous mode: buffer and flush in the background.
         self._pending.append(record)
         self._schedule_flush()
         if on_durable is not None:
-            self.env.simulator.schedule(0.0, on_durable)
+            self._simulator._post(0.0, on_durable, on_durable_args)
         return None
 
     def _schedule_flush(self) -> None:
         if self._flush_scheduled:
             return
         self._flush_scheduled = True
-        self.env.simulator.schedule(self._flush_interval, self._flush)
+        self._simulator._post(self._flush_interval, self._flush)
 
     def _flush(self) -> None:
         self._flush_scheduled = False

@@ -1,0 +1,212 @@
+"""Fast-path kernel tests: seed-differential determinism and compaction.
+
+The fast-path rewrite (tuple heap entries, handle-free ``_post`` events, lazy
+cancellation with compaction, connection caches in the network) must be
+observably identical to the seed implementation preserved in
+:mod:`repro.sim.legacy`: same seeds produce the same event orders and the
+same protocol-level delivery sequences.
+"""
+
+import random
+
+import pytest
+
+import repro.core.amcast as amcast
+import repro.sim.actor as actor_mod
+from repro.core import AtomicMulticast, MultiRingConfig
+from repro.multiring import MultiRingProcess
+from repro.sim.disk import StorageMode
+from repro.sim.kernel import Simulator
+from repro.sim.legacy import LegacyNetwork, LegacySimulator
+from repro.sim.network import Network
+
+
+def _random_kernel_trace(sim, seed: int, operations: int = 400):
+    """Drive a seeded random schedule/cancel program; return the firing log."""
+    rng = random.Random(seed)
+    log = []
+    handles = []
+
+    def fire(tag):
+        log.append((round(sim.now, 9), tag))
+        if rng.random() < 0.4:
+            handles.append(sim.schedule(rng.uniform(0.0, 2.0), fire, f"{tag}.n"))
+        if handles and rng.random() < 0.3:
+            handles[rng.randrange(len(handles))].cancel()
+
+    for i in range(operations):
+        delay = rng.uniform(0.0, 5.0)
+        priority = rng.choice([0, 0, 0, 1])
+        handles.append(sim.schedule(delay, fire, str(i), priority=priority))
+    sim.run(until=10.0)
+    return log
+
+
+class TestSeedDifferentialKernel:
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42, 1234])
+    def test_random_workload_fires_identically_to_seed_kernel(self, seed):
+        fast_log = _random_kernel_trace(Simulator(), seed)
+        legacy_log = _random_kernel_trace(LegacySimulator(), seed)
+        assert fast_log == legacy_log
+        assert len(fast_log) > 0
+
+    def test_post_orders_like_schedule(self):
+        """_post entries interleave with schedule/call_later in seq order."""
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim._post(1.0, fired.append, ("b",))
+        sim.call_later(1.0, fired.append, "c")
+        sim._post(0.5, fired.append, ("early",))
+        sim.run()
+        assert fired == ["early", "a", "b", "c"]
+
+    def test_post_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(Exception):
+            sim._post(-0.1, lambda: None, ())
+
+    def test_step_executes_post_entries(self):
+        sim = Simulator()
+        fired = []
+        sim._post(0.2, fired.append, ("x",))
+        assert sim.step() is True
+        assert fired == ["x"]
+        assert sim.now == 0.2
+
+
+class _Recorder(MultiRingProcess):
+    def __init__(self, env, name):
+        super().__init__(env, name)
+        self.delivered = []
+
+    def on_deliver(self, group_id, instance, value):
+        self.delivered.append((group_id, instance, value.payload, round(self.now, 12)))
+        if len(self.delivered) < 40:
+            self.multicast(0, payload=(self.name, len(self.delivered)), size_bytes=512)
+
+
+def _run_stack(seed: int):
+    """A small self-propelling ring workload; returns per-process deliveries."""
+    config = MultiRingConfig(
+        storage_mode=StorageMode.IN_MEMORY,
+        batching_enabled=False,
+        rate_interval=None,
+        checkpoint_interval=None,
+        trim_interval=None,
+    )
+    system = AtomicMulticast(config=config, seed=seed)
+    processes = [_Recorder(system.env, f"n{i}") for i in range(3)]
+    system.create_ring(0, [(p.name, "pal") for p in processes])
+    system.start()
+    for p in processes:
+        p.multicast(0, payload=(p.name, 0), size_bytes=512)
+    system.run(until=2.0)
+    return [p.delivered for p in processes]
+
+
+class TestSeedDifferentialStack:
+    @pytest.mark.parametrize("seed", [3, 11, 99])
+    def test_delivery_sequences_match_seed_substrate(self, monkeypatch, seed):
+        """Same seed → identical delivery sequence on the pre- and
+        post-refactor substrate (kernel + network swapped via injection)."""
+        fast = _run_stack(seed)
+        monkeypatch.setattr(actor_mod, "Simulator", LegacySimulator)
+        monkeypatch.setattr(amcast, "Network", LegacyNetwork)
+        legacy = _run_stack(seed)
+        assert fast == legacy
+        assert all(len(d) > 0 for d in fast)
+
+    def test_all_learners_agree(self):
+        deliveries = _run_stack(5)
+        orders = [[(g, i, p) for g, i, p, _ in d] for d in deliveries]
+        assert orders[0] == orders[1] == orders[2]
+
+
+class TestCancellationCompaction:
+    def test_cancelled_events_are_compacted_out_of_the_heap(self):
+        sim = Simulator()
+        handles = [sim.schedule(10.0 + i, lambda: None) for i in range(1000)]
+        survivor_fired = []
+        sim.schedule(5.0, survivor_fired.append, "ok")
+        for h in handles:
+            h.cancel()
+        # Compaction keeps the heap bounded by the trigger threshold instead
+        # of letting all 1000 dead entries pile up for lazy pop-skipping.
+        assert len(sim._queue) <= 2 * Simulator.COMPACT_MIN_CANCELLED
+        assert sim.pending_events == 1
+        sim.run()
+        assert survivor_fired == ["ok"]
+        assert sim.processed_events == 1
+
+    def test_compaction_preserves_order_of_survivors(self):
+        sim = Simulator()
+        fired = []
+        keep = []
+        for i in range(500):
+            h = sim.schedule(float(i), fired.append, i)
+            if i % 10 == 0:
+                keep.append(i)
+            else:
+                h.cancel()
+        sim.run()
+        assert fired == keep
+
+    def test_cancel_after_fire_does_not_corrupt_counter(self):
+        sim = Simulator()
+        fired = []
+        handles = [sim.schedule(float(i), fired.append, i) for i in range(100)]
+        sim.run()
+        for h in handles:
+            h.cancel()  # cancelling after the fact is a no-op on the queue
+        assert fired == list(range(100))
+        # Fired events must not count toward the compaction trigger.
+        assert sim._cancelled == 0
+        later = sim.schedule(1.0, fired.append, "later")
+        sim.run()
+        assert fired[-1] == "later"
+        assert not later.cancelled
+
+    def test_drain_resets_cancellation_state(self):
+        sim = Simulator()
+        handles = [sim.schedule(1.0 + i, lambda: None) for i in range(200)]
+        for h in handles[:50]:
+            h.cancel()
+        sim.drain(100.0)
+        assert sim.pending_events == 0
+        assert sim.now == 100.0
+        fired = []
+        sim.schedule(1.0, fired.append, "x")
+        sim.run()
+        assert fired == ["x"]
+
+
+class TestNetworkFastPathEquivalence:
+    def test_connection_cache_matches_seed_network_delivery_times(self):
+        """Bit-level: cached-connection sends vs the seed network's lookups."""
+        from repro.net.message import Message
+        from repro.sim.actor import Actor, Environment
+        from repro.sim.topology import ec2_global
+
+        class Sink(Actor):
+            def __init__(self, env, name, site):
+                super().__init__(env, name, site)
+                self.received = []
+
+            def on_message(self, sender, message):
+                self.received.append((sender, message.payload_bytes, self.now))
+
+        def run_network(net_cls, sim_cls):
+            env = Environment(simulator=sim_cls(), seed=7)
+            net_cls(env, ec2_global(["us-west-2", "us-east-1"]), jitter_fraction=0.05)
+            a = Sink(env, "a", "us-west-2")
+            b = Sink(env, "b", "us-east-1")
+            for i in range(50):
+                a.send("b", Message(payload_bytes=1000 + i))
+                b.send("a", Message(payload_bytes=10 * i))
+            env.simulator.run()
+            return a.received, b.received
+
+        fast = run_network(Network, Simulator)
+        legacy = run_network(LegacyNetwork, LegacySimulator)
+        assert fast == legacy
