@@ -1,0 +1,44 @@
+"""Deterministic chaos harness for Multi-Ring Paxos deployments.
+
+The chaos subsystem turns the simulator into a property-based
+fault-injection harness:
+
+* :mod:`repro.chaos.schedule` — a declarative fault-schedule DSL: a timeline
+  of crash/restart, partition/heal, site isolation, disk-latency-spike and
+  ring-reconfiguration events executed on the simulation clock;
+* :mod:`repro.chaos.trace` — a delivery-trace recorder capturing every
+  learner's application delivery stream (per crash/restart incarnation);
+* :mod:`repro.chaos.oracle` — the invariant oracle checking the paper's
+  atomic multicast properties (integrity, validity, uniform agreement,
+  acyclic cross-group order) plus service-level invariants;
+* :mod:`repro.chaos.scenario` — a seeded random scenario generator and
+  runner: a single integer seed derives topology, deployment, workload and
+  fault schedule, and a violation dumps a minimal repro artifact.
+
+Replay a failing scenario from its printed seed with::
+
+    PYTHONPATH=src python -m repro.chaos --seed <SEED>
+"""
+
+from .schedule import FaultEvent, FaultSchedule
+from .trace import TraceRecorder
+from .oracle import (
+    Violation,
+    check_delivery_properties,
+    check_log_convergence,
+    check_store_convergence,
+)
+from .scenario import ScenarioResult, generate_spec, run_scenario
+
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "TraceRecorder",
+    "Violation",
+    "check_delivery_properties",
+    "check_store_convergence",
+    "check_log_convergence",
+    "ScenarioResult",
+    "generate_spec",
+    "run_scenario",
+]

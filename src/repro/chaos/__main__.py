@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.chaos --seed N [--count K]``."""
+
+import sys
+
+from .scenario import main
+
+sys.exit(main())

@@ -1,0 +1,652 @@
+"""Seeded random chaos scenarios: generator, runner and repro artifacts.
+
+A single integer seed deterministically derives an entire scenario — the
+topology, the deployment (plain atomic multicast, MRP-Store or dLog), the
+workload and the fault schedule — so any failure reproduces exactly from its
+seed.  The runner executes the scenario in three phases:
+
+1. **active phase** — the workload and the fault schedule run concurrently on
+   the simulation clock;
+2. **healing epilogue** — every partition is healed, every crashed process
+   restarted, every disk spike cleared, and the system quiesces; workload
+   messages that no learner delivered (lost in a crashed coordinator's queue
+   or on a cut link) are re-submitted once, the way real clients retry on
+   timeout;
+3. **verdict** — the invariant oracle checks the recorded delivery traces
+   (and service state) and the runner dumps a repro artifact if anything is
+   violated.
+
+Replay a failing scenario::
+
+    PYTHONPATH=src python -m repro.chaos --seed <SEED>
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.amcast import AtomicMulticast
+from ..core.client import Command
+from ..core.config import MultiRingConfig
+from ..multiring.process import MultiRingProcess
+from ..net.message import ClientRequest, ClientResponse
+from ..sim.actor import Actor
+from ..sim.disk import StorageMode
+from ..sim.topology import Topology, single_datacenter
+from .oracle import (
+    Violation,
+    check_delivery_properties,
+    check_log_convergence,
+    check_store_convergence,
+)
+from .schedule import FaultSchedule
+from .trace import TraceRecorder
+
+__all__ = ["ScenarioResult", "generate_spec", "run_scenario", "main"]
+
+#: Phase lengths shared by every family (simulated seconds).
+SETTLE = 0.3
+QUIESCE_HEAL = 1.2
+QUIESCE_FINAL = 2.0
+
+#: Fault knobs the generator draws from.
+_CRASH_DURATION = (0.2, 0.8)
+_PARTITION_DURATION = (0.1, 0.6)
+_SPIKE_FACTOR = (4.0, 20.0)
+_SPIKE_DURATION = (0.1, 0.5)
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one chaos scenario."""
+
+    seed: int
+    family: str
+    violations: List[Violation]
+    stats: Dict[str, Any] = field(default_factory=dict)
+    artifact_path: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether every invariant held."""
+        return not self.violations
+
+
+# --------------------------------------------------------------------------
+# Spec generation
+# --------------------------------------------------------------------------
+
+def generate_spec(seed: int) -> Dict[str, Any]:
+    """Derive a scenario specification (plain data) from ``seed``."""
+    rng = random.Random(seed ^ 0xC1A05)
+    family = rng.choices(["amcast", "kvstore", "dlog"], weights=[3, 1, 1])[0]
+    if family == "amcast":
+        spec = _generate_amcast_spec(rng)
+    elif family == "kvstore":
+        spec = _generate_kvstore_spec(rng)
+    else:
+        spec = _generate_dlog_spec(rng)
+    spec["seed"] = seed
+    spec["family"] = family
+    return spec
+
+
+def _pick_storage(rng: random.Random) -> str:
+    return rng.choices(
+        [StorageMode.IN_MEMORY.value, StorageMode.ASYNC_SSD.value, StorageMode.SYNC_SSD.value],
+        weights=[6, 3, 1],
+    )[0]
+
+
+def _generate_amcast_spec(rng: random.Random) -> Dict[str, Any]:
+    site_count = rng.choice([1, 2, 2, 3])
+    sites = [f"s{i}" for i in range(site_count)]
+    process_count = rng.randint(4, 6)
+    processes = {f"p{i}": rng.choice(sites) for i in range(process_count)}
+    names = sorted(processes)
+
+    ring_count = rng.choice([1, 2, 2, 3])
+    rings: Dict[int, List[List[str]]] = {}
+    for ring_id in range(ring_count):
+        core = rng.sample(names, k=min(len(names), rng.randint(3, 4)))
+        members = [[name, "pal"] for name in core]
+        for name in names:
+            if name not in core and rng.random() < 0.3:
+                members.append([name, "l"])  # learner-only subscriber
+        rings[ring_id] = members
+
+    horizon = rng.uniform(1.2, 2.2)
+    message_count = rng.randint(20, 60)
+    messages = []
+    for i in range(message_count):
+        ring_id = rng.randrange(ring_count)
+        proposers = [m[0] for m in rings[ring_id] if "p" in m[1]]
+        messages.append({
+            "at": round(rng.uniform(0.05, horizon), 6),
+            "sender": rng.choice(proposers),
+            "group": ring_id,
+            "payload": f"g{ring_id}-m{i}",
+            "size": rng.choice([64, 128, 512]),
+        })
+
+    schedule = _generate_faults(
+        rng,
+        horizon,
+        crash_victims=names,
+        sites=sites,
+        allow_reconfig=True,
+        rings=rings,
+    )
+    return {
+        "sites": sites,
+        "processes": processes,
+        "rings": rings,
+        "messages_per_round": rng.choice([1, 1, 2]),
+        "storage_mode": _pick_storage(rng),
+        "batching": rng.random() < 0.2,
+        "horizon": horizon,
+        "messages": messages,
+        "schedule": schedule.to_dicts(),
+    }
+
+
+def _generate_kvstore_spec(rng: random.Random) -> Dict[str, Any]:
+    partitions = rng.choice([1, 1, 2])
+    replicas = rng.randint(2, 3)
+    horizon = rng.uniform(1.5, 2.5)
+    victims = (
+        [f"kv{g}-replica{i}" for g in range(partitions) for i in range(replicas)]
+        + [f"kv{g}-node{i}" for g in range(partitions) for i in range(3)]
+    )
+    schedule = _generate_faults(rng, horizon, crash_victims=victims, sites=[], allow_reconfig=False)
+    clients = []
+    for c in range(rng.choice([1, 2])):
+        clients.append({
+            "name": f"ryw{c}",
+            "keys": rng.randint(2, 4),
+            "requests": rng.randint(20, 40),
+        })
+    return {
+        "partitions": partitions,
+        "replicas": replicas,
+        "storage_mode": _pick_storage(rng),
+        "horizon": horizon,
+        "clients": clients,
+        "schedule": schedule.to_dicts(),
+    }
+
+
+def _generate_dlog_spec(rng: random.Random) -> Dict[str, Any]:
+    logs = rng.choice([1, 2, 3])
+    replicas = 2
+    horizon = rng.uniform(1.5, 2.5)
+    victims = (
+        [f"dlog-replica{i}" for i in range(replicas)]
+        + [f"dlog{log}-node{i}" for log in range(logs) for i in range(3)]
+    )
+    schedule = _generate_faults(rng, horizon, crash_victims=victims, sites=[], allow_reconfig=False)
+    return {
+        "logs": logs,
+        "replicas": replicas,
+        "storage_mode": _pick_storage(rng),
+        "horizon": horizon,
+        "append_requests": rng.randint(20, 40),
+        "multi_append_every": rng.choice([0, 5, 8]),
+        "schedule": schedule.to_dicts(),
+    }
+
+
+def _generate_faults(
+    rng: random.Random,
+    horizon: float,
+    crash_victims: List[str],
+    sites: List[str],
+    allow_reconfig: bool,
+    rings: Optional[Dict[int, List[List[str]]]] = None,
+) -> FaultSchedule:
+    """A random timeline of paired faults, everything healed before the end.
+
+    Crash windows are kept sequential (at most one process down at a time) so
+    that every ring always retains a quorum of live acceptors — the scenarios
+    probe safety under faults the protocol is designed to survive, not
+    unavailability.
+    """
+    schedule = FaultSchedule()
+    fault_count = rng.randint(1, 4)
+    next_crash_start = rng.uniform(0.1, 0.4)
+    for _ in range(fault_count):
+        kinds = ["crash", "spike"]
+        if len(sites) >= 2:
+            kinds += ["partition", "isolate"]
+        if allow_reconfig and rings:
+            kinds.append("reconfig")
+        kind = rng.choice(kinds)
+        if kind == "crash" and crash_victims:
+            start = next_crash_start
+            duration = rng.uniform(*_CRASH_DURATION)
+            if start + duration > horizon + SETTLE:
+                continue
+            victim = rng.choice(crash_victims)
+            schedule.crash(start, victim)
+            schedule.restart(start + duration, victim)
+            next_crash_start = start + duration + rng.uniform(0.1, 0.4)
+        elif kind == "partition":
+            start = rng.uniform(0.1, horizon)
+            duration = rng.uniform(*_PARTITION_DURATION)
+            site_a, site_b = rng.sample(sites, 2)
+            schedule.partition(start, site_a, site_b)
+            schedule.heal(min(start + duration, horizon + SETTLE), site_a, site_b)
+        elif kind == "isolate":
+            start = rng.uniform(0.1, horizon)
+            duration = rng.uniform(*_PARTITION_DURATION)
+            site = rng.choice(sites)
+            schedule.isolate(start, site)
+            schedule.rejoin(min(start + duration, horizon + SETTLE), site)
+        elif kind == "spike":
+            start = rng.uniform(0.1, horizon)
+            duration = rng.uniform(*_SPIKE_DURATION)
+            schedule.disk_spike(start, factor=rng.uniform(*_SPIKE_FACTOR))
+            schedule.disk_restore(min(start + duration, horizon + SETTLE))
+        elif kind == "reconfig" and rings:
+            # A learner-only member voluntarily leaves a ring and rejoins.
+            candidates = [
+                (ring_id, member[0])
+                for ring_id, members in rings.items()
+                for member in members
+                if member[1] == "l"
+            ]
+            if not candidates:
+                continue
+            ring_id, name = rng.choice(candidates)
+            start = rng.uniform(0.1, horizon * 0.6)
+            schedule.add(start, "remove_from_ring", ring_id=ring_id, process=name)
+            schedule.add(
+                start + rng.uniform(0.1, 0.4), "add_to_ring",
+                ring_id=ring_id, process=name, roles="l",
+            )
+    if not schedule.events and crash_victims:
+        # Every draw fell on a guard: still inject at least one fault — a
+        # fault-free "chaos" scenario would silently test nothing.
+        victim = rng.choice(crash_victims)
+        schedule.crash(0.3, victim)
+        schedule.restart(0.3 + rng.uniform(*_CRASH_DURATION), victim)
+    return schedule
+
+
+# --------------------------------------------------------------------------
+# Runner
+# --------------------------------------------------------------------------
+
+def run_scenario(seed: int, artifacts_dir: Optional[str] = None) -> ScenarioResult:
+    """Generate and execute the scenario of ``seed``; check every invariant.
+
+    On violation a JSON repro artifact (seed, spec, fault timeline, trace
+    tails) is written to ``artifacts_dir`` (default: ``./chaos-artifacts``,
+    overridable through the ``CHAOS_ARTIFACT_DIR`` environment variable).
+    """
+    spec = generate_spec(seed)
+    family = spec["family"]
+    if family == "amcast":
+        violations, stats, recorder = _run_amcast(spec)
+    elif family == "kvstore":
+        violations, stats, recorder = _run_kvstore(spec)
+    else:
+        violations, stats, recorder = _run_dlog(spec)
+    result = ScenarioResult(seed=seed, family=family, violations=violations, stats=stats)
+    if violations:
+        result.artifact_path = _dump_artifact(spec, result, recorder, artifacts_dir)
+    return result
+
+
+def _chaos_config(spec: Dict[str, Any], **overrides: Any) -> MultiRingConfig:
+    base = dict(
+        messages_per_round=spec.get("messages_per_round", 1),
+        rate_interval=0.005,
+        max_rate=2000.0,
+        storage_mode=StorageMode(spec["storage_mode"]),
+        batching_enabled=spec.get("batching", False),
+        checkpoint_interval=None,
+        trim_interval=None,
+        gap_repair_interval=0.15,
+    )
+    base.update(overrides)
+    return MultiRingConfig(**base)
+
+
+def _build_topology(sites: List[str], rng: random.Random) -> Topology:
+    if len(sites) <= 1:
+        return single_datacenter(sites[0] if sites else "dc1")
+    topo = Topology(local_latency=0.00005, local_bandwidth_bps=10e9)
+    for site in sites:
+        topo.add_site(site)
+    for i, a in enumerate(sites):
+        for b in sites[i + 1:]:
+            topo.set_link(a, b, one_way_latency=rng.uniform(0.001, 0.02), bandwidth_bps=1e9)
+    return topo
+
+
+def _run_epilogue(system, schedule: FaultSchedule, active_end: float) -> Tuple[float, float]:
+    """Heal everything and let the system quiesce; returns the phase bounds."""
+    system.run(until=active_end)
+    system.network.heal_all()
+    for actor in system.env.actors():
+        if not actor.alive:
+            system.restart_process(actor.name)
+    for disk in system.env.disks():
+        disk.clear_slowdown()
+    heal_end = active_end + QUIESCE_HEAL
+    system.run(until=heal_end)
+    return heal_end, heal_end + QUIESCE_FINAL
+
+
+def _run_amcast(spec: Dict[str, Any]) -> Tuple[List[Violation], Dict[str, Any], TraceRecorder]:
+    rng = random.Random(spec["seed"] ^ 0x70B0)
+    topology = _build_topology(spec["sites"], rng)
+    config = _chaos_config(spec)
+    system = AtomicMulticast(topology=topology, config=config, seed=spec["seed"])
+    processes = {
+        name: MultiRingProcess(
+            system.env, name, site=site,
+            messages_per_round=config.messages_per_round,
+        )
+        for name, site in sorted(spec["processes"].items())
+    }
+    for ring_id, members in sorted(spec["rings"].items()):
+        system.create_ring(int(ring_id), [(name, roles) for name, roles in members])
+
+    recorder = TraceRecorder()
+    for process in processes.values():
+        if process.subscribed_groups():
+            recorder.attach(process)
+
+    schedule = FaultSchedule.from_dicts(spec["schedule"])
+    schedule.apply(system)
+
+    sim = system.env.simulator
+
+    def send(entry: Dict[str, Any]) -> None:
+        sender = processes[entry["sender"]]
+        if not sender.alive:
+            return  # a crashed client does not submit; nothing was sent
+        recorder.record_sent(entry["payload"], entry["sender"], entry["group"], sim.now)
+        sender.multicast(entry["group"], payload=entry["payload"], size_bytes=entry["size"])
+
+    for entry in spec["messages"]:
+        sim.call_later(entry["at"], send, entry)
+
+    system.start()
+    active_end = max(spec["horizon"], schedule.end_time) + SETTLE
+    heal_end, final_end = _run_epilogue(system, schedule, active_end)
+
+    # Retry what was genuinely lost (a real client's timeout + resubmit).
+    retries = 0
+    for record in recorder.undelivered():
+        sender = processes[record.sender]
+        if sender.alive and record.group in sender.ring_ids():
+            recorder.record_retry(record.payload)
+            sender.multicast(record.group, payload=record.payload, size_bytes=64)
+            retries += 1
+    system.run(until=final_end)
+
+    violations = check_delivery_properties(recorder, check_validity=True)
+    stats = {
+        "sent": len(recorder.sent),
+        "retries": retries,
+        "deliveries": recorder.delivery_counts(),
+        "faults": len(schedule.executed),
+        "dropped_messages": system.network.stats.dropped,
+    }
+    return violations, stats, recorder
+
+
+class _RywClient(Actor):
+    """Closed-loop client checking read-your-writes on private keys.
+
+    Alternates ``update`` and ``read`` on a small set of keys only it writes;
+    every write uses a strictly larger value size, so a read answered with a
+    smaller size than the client's last acknowledged write proves a replica
+    served stale (out-of-order) state.
+    """
+
+    def __init__(self, env, name, frontends_by_group, group_for_key, keys, max_requests):
+        super().__init__(env, name)
+        self._frontends = dict(frontends_by_group)
+        self._group_for_key = group_for_key
+        self._keys = list(keys)
+        self._max_requests = max_requests
+        self._seq = 0
+        self._outstanding: Dict[int, Tuple[str, str, int]] = {}
+        self._acked_size: Dict[str, int] = {}
+        self.violations: List[Violation] = []
+        self.completed = 0
+
+    def on_start(self) -> None:
+        self._issue()
+
+    def _issue(self) -> None:
+        if self._seq >= self._max_requests or not self.alive:
+            return
+        seq = self._seq
+        self._seq += 1
+        key = self._keys[(seq // 2) % len(self._keys)]
+        size = 64 + seq
+        if seq % 2 == 0:
+            command = Command(
+                op="update" if key in self._acked_size else "insert",
+                args=(key, None, size),
+                group_id=self._group_for_key(key),
+                size_bytes=size,
+                command_id=seq,
+                client=self.name,
+            )
+        else:
+            command = Command(
+                op="read",
+                args=(key,),
+                group_id=self._group_for_key(key),
+                size_bytes=32,
+                command_id=seq,
+                client=self.name,
+            )
+        self._outstanding[seq] = (command.op, key, size)
+        self.send(
+            self._frontends[command.group_id],
+            ClientRequest(payload_bytes=command.size_bytes, client=self.name, command=command),
+        )
+
+    def on_message(self, sender: str, message) -> None:
+        if not isinstance(message, ClientResponse):
+            return
+        entry = self._outstanding.pop(message.request_id, None)
+        if entry is None:
+            return  # duplicate response from another replica
+        op, key, size = entry
+        value = message.result.get("value") if isinstance(message.result, dict) else None
+        if op in ("update", "insert"):
+            self._acked_size[key] = size
+        elif op == "read" and key in self._acked_size:
+            observed = value.get("size", -1) if isinstance(value, dict) else -1
+            if not (isinstance(value, dict) and value.get("found")) or observed < self._acked_size[key]:
+                self.violations.append(Violation(
+                    "read-your-writes",
+                    f"{self.name} read {key!r} and saw size {observed} after its "
+                    f"write of size {self._acked_size[key]} was acknowledged",
+                ))
+        self.completed += 1
+        self._issue()
+
+
+def _run_kvstore(spec: Dict[str, Any]) -> Tuple[List[Violation], Dict[str, Any], TraceRecorder]:
+    from ..kvstore.service import MRPStoreService
+
+    config = _chaos_config(spec, checkpoint_interval=0.5)
+    system = AtomicMulticast(config=config, seed=spec["seed"])
+    groups = list(range(spec["partitions"]))
+    service = MRPStoreService(
+        system,
+        partition_groups=groups,
+        acceptors_per_partition=3,
+        replicas_per_partition=spec["replicas"],
+        config=config,
+    )
+    recorder = TraceRecorder()
+    for replica in service.all_replicas():
+        recorder.attach(replica)
+
+    frontends = service.frontend_map()
+    clients = [
+        _RywClient(
+            system.env,
+            entry["name"],
+            frontends_by_group=frontends,
+            group_for_key=service.partitioner.group_for_key,
+            keys=[f"{entry['name']}-k{i}" for i in range(entry["keys"])],
+            max_requests=entry["requests"],
+        )
+        for entry in spec["clients"]
+    ]
+
+    schedule = FaultSchedule.from_dicts(spec["schedule"])
+    schedule.apply(system)
+    system.start()
+
+    active_end = max(spec["horizon"], schedule.end_time) + SETTLE
+    _, final_end = _run_epilogue(system, schedule, active_end)
+    system.run(until=final_end)
+
+    # Service-level invariants only: commands lack a hashable cross-replica
+    # identity, so the ordering oracle does not run for this family — a
+    # divergence in delivery order surfaces as store divergence or a stale
+    # read instead.
+    violations: List[Violation] = []
+    for client in clients:
+        violations.extend(client.violations)
+    violations.extend(
+        check_store_convergence({g: service.replicas[g] for g in groups})
+    )
+    stats = {
+        "completed": {c.name: c.completed for c in clients},
+        "faults": len(schedule.executed),
+        "deliveries": recorder.delivery_counts(),
+    }
+    return violations, stats, recorder
+
+
+def _run_dlog(spec: Dict[str, Any]) -> Tuple[List[Violation], Dict[str, Any], TraceRecorder]:
+    from ..dlog.service import DLogService
+
+    config = _chaos_config(spec, checkpoint_interval=0.5)
+    system = AtomicMulticast(config=config, seed=spec["seed"])
+    log_ids = list(range(spec["logs"]))
+    service = DLogService(
+        system,
+        log_ids=log_ids,
+        acceptors_per_log=3,
+        replica_count=spec["replicas"],
+        config=config,
+    )
+    recorder = TraceRecorder()
+    for replica in service.replicas:
+        recorder.attach(replica)
+
+    client = service.create_append_client(
+        "chaos-appender",
+        concurrency=2,
+        append_bytes=256,
+        max_requests=spec["append_requests"],
+        multi_append_every=spec["multi_append_every"] or None,
+    )
+
+    schedule = FaultSchedule.from_dicts(spec["schedule"])
+    schedule.apply(system)
+    system.start()
+
+    active_end = max(spec["horizon"], schedule.end_time) + SETTLE
+    _, final_end = _run_epilogue(system, schedule, active_end)
+    system.run(until=final_end)
+
+    violations = check_log_convergence(service.replicas, log_ids)
+    stats = {
+        "completed": client.completed,
+        "faults": len(schedule.executed),
+        "deliveries": recorder.delivery_counts(),
+    }
+    return violations, stats, recorder
+
+
+# --------------------------------------------------------------------------
+# Repro artifacts
+# --------------------------------------------------------------------------
+
+def _dump_artifact(
+    spec: Dict[str, Any],
+    result: ScenarioResult,
+    recorder: TraceRecorder,
+    artifacts_dir: Optional[str],
+) -> Optional[str]:
+    directory = artifacts_dir or os.environ.get("CHAOS_ARTIFACT_DIR", "chaos-artifacts")
+    try:
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"chaos-seed{result.seed}.json")
+        payload = {
+            "seed": result.seed,
+            "family": result.family,
+            "replay": f"PYTHONPATH=src python -m repro.chaos --seed {result.seed}",
+            "violations": [{"prop": v.prop, "detail": v.detail} for v in result.violations],
+            "stats": result.stats,
+            "spec": spec,
+            "trace_tails": {
+                name: [
+                    {
+                        "time": record.time,
+                        "incarnation": record.incarnation,
+                        "group": record.group,
+                        "instance": record.instance,
+                        "payload": repr(record.payload),
+                    }
+                    for record in trace.tail(50)
+                ]
+                for name, trace in recorder.traces.items()
+            },
+        }
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, default=repr)
+        return path
+    except OSError:  # pragma: no cover - read-only filesystem etc.
+        return None
+
+
+# --------------------------------------------------------------------------
+# CLI
+# --------------------------------------------------------------------------
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run one or more scenarios from the command line.
+
+    ``python -m repro.chaos --seed 7`` replays seed 7;
+    ``--count N`` sweeps seeds ``seed .. seed+N-1``.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Run seeded chaos scenarios.")
+    parser.add_argument("--seed", type=int, default=0, help="first scenario seed")
+    parser.add_argument("--count", type=int, default=1, help="number of consecutive seeds")
+    parser.add_argument("--artifacts", default=None, help="repro artifact directory")
+    args = parser.parse_args(argv)
+
+    failures = 0
+    for seed in range(args.seed, args.seed + args.count):
+        result = run_scenario(seed, artifacts_dir=args.artifacts)
+        status = "PASS" if result.ok else "FAIL"
+        print(f"{status} seed={seed} family={result.family} stats={result.stats}")
+        if not result.ok:
+            failures += 1
+            for violation in result.violations:
+                print(f"  {violation}")
+            if result.artifact_path:
+                print(f"  artifact: {result.artifact_path}")
+    return 1 if failures else 0

@@ -52,6 +52,10 @@ class MultiRingConfig:
     checkpoint_interval: Optional[float] = 10.0
     #: How often coordinators run the trim protocol (seconds); None disables it.
     trim_interval: Optional[float] = 20.0
+    #: How often stalled learners probe acceptors for missing decisions
+    #: (seconds); None disables gap repair (the default — it only matters when
+    #: faults can drop circulating decisions, and the chaos harness enables it).
+    gap_repair_interval: Optional[float] = None
     #: CPU cost model charged per protocol message.
     cpu_model: CpuCostModel = field(default_factory=CpuCostModel)
 
@@ -77,6 +81,7 @@ class MultiRingConfig:
             rate_interval=self.rate_interval,
             rate_policy=self.rate_leveler(),
             trim_interval=self.trim_interval,
+            gap_repair_interval=self.gap_repair_interval,
         )
 
     def with_(self, **changes) -> "MultiRingConfig":

@@ -200,12 +200,19 @@ class Decision(Message):
 
 @dataclass
 class RetransmitRequest(Message):
-    """Recovering replica asking an acceptor for decided instances."""
+    """Recovering replica asking an acceptor for decided instances.
+
+    ``reason`` distinguishes who consumes the eventual reply: ``"recovery"``
+    requests are answered to the replica's :class:`~repro.recovery.recover.RecoveryManager`,
+    ``"gap-repair"`` requests come from a live learner plugging a delivery gap
+    (messages lost to a partition) and are consumed by the ring node itself.
+    """
 
     ring_id: int = 0
     from_instance: int = 0
     to_instance: int = 0
     requester: str = ""
+    reason: str = "recovery"
 
 
 @dataclass
@@ -215,6 +222,7 @@ class RetransmitReply(Message):
     ring_id: int = 0
     decided: List[Tuple[int, ProposalValue]] = field(default_factory=list)
     trimmed_up_to: int = -1
+    reason: str = "recovery"
 
     def __post_init__(self) -> None:
         self.payload_bytes = sum(

@@ -92,7 +92,12 @@ class RecoveryManager:
         self._inject_decided = inject_decided
         self._on_complete = on_complete or (lambda: None)
         partition_size = len(self._peers) + 1
-        self._quorum = recovery_quorum or (partition_size // 2 + 1)
+        # A majority of the partition (peers + self), capped at the number of
+        # peers that can actually answer: the recovering replica cannot reply
+        # to itself, so a two-replica partition must make progress on the
+        # single peer's answer instead of waiting forever for a second one.
+        majority = partition_size // 2 + 1
+        self._quorum = recovery_quorum or max(1, min(majority, len(self._peers)))
         self.phase = RecoveryPhase.IDLE
         self._id_replies: Dict[str, Optional[CheckpointId]] = {}
         self._chosen_peer: Optional[str] = None

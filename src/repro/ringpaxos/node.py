@@ -45,6 +45,10 @@ from ..paxos.messages import (
     TrimReport,
     ValueForward,
 )
+
+#: ``RetransmitRequest.reason`` used by the learner-side gap repair; replies
+#: with this reason are consumed by the ring node, not the recovery manager.
+GAP_REPAIR = "gap-repair"
 from ..sim.actor import Actor
 from ..sim.cpu import CpuCostModel
 from ..sim.disk import Disk, StorageMode
@@ -76,6 +80,13 @@ class RingNodeConfig:
     trim_quorum:
         Number of replica answers the coordinator waits for before trimming
         (the paper's quorum ``Q_T``); ``None`` means a majority of learners.
+    gap_repair_interval:
+        Period of the learner's gap-repair probe; ``None`` (the default)
+        disables it.  When enabled, a learner whose in-order delivery has not
+        advanced for a full interval asks an acceptor to retransmit decided
+        instances it is missing — this is how learners catch up after a
+        network partition dropped circulating decisions (the chaos harness
+        switches it on for every fault scenario).
     """
 
     storage_mode: StorageMode = StorageMode.IN_MEMORY
@@ -85,6 +96,7 @@ class RingNodeConfig:
     rate_policy: Optional[Any] = None
     trim_interval: Optional[float] = None
     trim_quorum: Optional[int] = None
+    gap_repair_interval: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.cpu_model is None:
@@ -141,6 +153,20 @@ class RingNode:
 
         self._started = False
         self._proposal_seq = 0
+        #: gap repair: in-order position at the previous probe, and a rotation
+        #: counter so successive probes try different acceptors (one of them
+        #: may have crashed and lost its in-memory decision log)
+        self._gap_repair_last_emit = -1
+        self._gap_repair_rotation = 0
+        #: takeover repair: highest-ballot accepted value per instance
+        #: reported in Phase 1B while this node establishes itself as the
+        #: ring's new coordinator
+        self._takeover_accepted: Dict[int, Tuple[int, ProposalValue]] = {}
+        self._takeover_repair_pending = False
+        #: hole repair (coordinator side): lowest instance this coordinator
+        #: does not know to be decided, and its value at the previous probe
+        self._hole_cursor = 0
+        self._hole_cursor_prev = -1
         #: bound once: handed to the acceptor as the durability callback on
         #: every vote (avoids a bound-method allocation per message)
         self._after_own_vote_callback = self._after_own_vote
@@ -187,6 +213,11 @@ class RingNode:
                 self.host.set_periodic_timer(self.config.rate_interval, self._rate_level_tick)
             if self.config.trim_interval is not None:
                 self.host.set_periodic_timer(self.config.trim_interval, self._trim_tick)
+            if self.config.gap_repair_interval is not None:
+                self.host.set_periodic_timer(self.config.gap_repair_interval, self._hole_repair_tick)
+        if self.is_learner and self.config.gap_repair_interval is not None:
+            self._gap_repair_last_emit = -1
+            self.host.set_periodic_timer(self.config.gap_repair_interval, self._gap_repair_tick)
 
     def _start_phase1(self) -> None:
         assert self.coordinator is not None
@@ -205,6 +236,10 @@ class RingNode:
                     to_instance=hi,
                 ),
             )
+        # A takeover in a ring whose promise quorum is just this process (all
+        # other acceptors crashed) completes Phase 1 without any Phase 1B.
+        if self.coordinator.phase1_ready and self._takeover_repair_pending:
+            self._takeover_repair()
 
     # --------------------------------------------------------------- propose
     def propose(self, payload: Any, size_bytes: int, created_at: Optional[float] = None) -> ProposalValue:
@@ -257,6 +292,8 @@ class RingNode:
             self._handle_phase1b(message)
         elif isinstance(message, RetransmitRequest):
             self._handle_retransmit_request(message)
+        elif isinstance(message, RetransmitReply):
+            return self._handle_retransmit_reply(message)
         elif isinstance(message, TrimQuery):
             return False  # answered by the replica layer, not the ring node
         elif isinstance(message, TrimReport):
@@ -356,11 +393,53 @@ class RingNode:
             return
         # A new coordinator must not reuse instance numbers that already hold
         # accepted values from a previous coordinator's reign.
-        for instance, _ballot, _value in message.accepted:
+        for instance, ballot, value in message.accepted:
             self.coordinator.ledger.observe_instance(instance)
+            if self._takeover_repair_pending and value is not None:
+                best = self._takeover_accepted.get(instance)
+                if best is None or ballot > best[0]:
+                    self._takeover_accepted[instance] = (ballot, value)
         ready = self.coordinator.record_promise(message.acceptor, self.overlay.majority())
+        if ready and self._takeover_repair_pending:
+            self._takeover_repair()
         if ready and self.coordinator.has_pending():
             self._flush_assignments()
+
+    def _takeover_repair(self) -> None:
+        """Finish instances the failed coordinator left behind (classic Paxos).
+
+        Once a takeover's Phase 1 has a promise quorum, every instance below
+        the highest observed one that is not known to be decided falls in one
+        of two cases: some quorum acceptor reported an accepted value — that
+        value may have been chosen, so it is re-proposed under the new ballot —
+        or nobody accepted anything, in which case no value can have been
+        chosen (any decision quorum intersects the promise quorum) and the
+        hole is filled with a skip so learners can advance past it.
+        """
+        self._takeover_repair_pending = False
+        assert self.coordinator is not None and self.acceptor is not None
+        start = self.acceptor.trimmed_up_to + 1
+        next_instance = self.coordinator.ledger.next_instance
+        # This process's own votes compete with the Phase 1B reports on equal
+        # terms: the value chosen for an instance is the highest-ballot
+        # accepted value across the whole promise quorum (classic Paxos) —
+        # preferring a reported value regardless of ballot could resurrect a
+        # stale proposal over a decided newer one.
+        best = dict(self._takeover_accepted)
+        if next_instance > start:
+            for instance, ballot, value in self.acceptor.accepted_in_range(
+                start, next_instance - 1
+            ):
+                entry = best.get(instance)
+                if value is not None and (entry is None or ballot > entry[0]):
+                    best[instance] = (ballot, value)
+        for instance in range(start, next_instance):
+            if self.acceptor.is_decided(instance):
+                continue
+            entry = best.get(instance)
+            value = entry[1] if entry is not None else CoordinatorState.skip_value()
+            self._emit_phase2(instance, value, span=1)
+        self._takeover_accepted.clear()
 
     # ----------------------------------------------------------------- phase 2
     def _handle_phase2(self, message: Phase2Ring) -> None:
@@ -500,8 +579,112 @@ class RingNode:
                 ring_id=self.ring_id,
                 decided=decided,
                 trimmed_up_to=self.acceptor.trimmed_up_to,
+                reason=message.reason,
             ),
         )
+
+    # ------------------------------------------------------------- gap repair
+    def _gap_repair_tick(self) -> None:
+        """Ask an acceptor for missing decisions when delivery has stalled.
+
+        A learner separated from the ring by a partition misses the decisions
+        that circulated meanwhile; once healed, nothing would ever close the
+        gap (decisions cross each link exactly once).  The probe notices that
+        the in-order delivery position has not moved for a whole interval and
+        requests everything decided from that position onwards.  When the
+        learner is merely caught up the request comes back empty.
+        """
+        if self.learner is None:
+            return
+        if getattr(self.host, "_recovering", False):
+            # The replica's RecoveryManager owns retransmission traffic while
+            # the full recovery protocol runs.
+            return
+        next_to_emit = self.learner.next_to_emit
+        stalled = next_to_emit == self._gap_repair_last_emit
+        self._gap_repair_last_emit = next_to_emit
+        if not stalled:
+            return
+        env = self.host.env
+        acceptors = [
+            a
+            for a in self.overlay.acceptors
+            if a != self.host.name and (not env.has_actor(a) or env.actor(a).alive)
+        ]
+        if not acceptors:
+            return
+        target = acceptors[self._gap_repair_rotation % len(acceptors)]
+        self._gap_repair_rotation += 1
+        self.host.send(
+            target,
+            RetransmitRequest(
+                ring_id=self.ring_id,
+                from_instance=next_to_emit,
+                to_instance=-1,
+                requester=self.host.name,
+                reason=GAP_REPAIR,
+            ),
+        )
+
+    def _hole_repair_tick(self) -> None:
+        """Re-propose instances whose Phase 2 / Decision was lost in flight.
+
+        A partition can swallow a circulating Phase 2 message after the
+        coordinator voted for it: the instance stays allocated but never
+        decided — a permanent hole no learner can get past, because decisions
+        for it do not exist anywhere.  The coordinator is the one process
+        that knows such holes exist (its own vote is recorded, the decision
+        is not), so it re-emits the instance with the value its acceptor
+        accepted — the value it originally proposed — under its own ballot.
+        Only runs when the lowest undecided instance has not moved for a full
+        interval *and* later instances are decided (a genuine hole, not the
+        in-flight tail).
+        """
+        if not self.is_coordinator or self.coordinator is None or self.acceptor is None:
+            return
+        if not self.coordinator.phase1_ready:
+            return
+        acceptor = self.acceptor
+        cursor = max(self._hole_cursor, acceptor.trimmed_up_to + 1)
+        while acceptor.is_decided(cursor):
+            cursor += 1
+        stalled = cursor == self._hole_cursor_prev
+        self._hole_cursor_prev = cursor
+        self._hole_cursor = cursor
+        if not stalled:
+            return
+        highest = acceptor.highest_decided
+        if highest <= cursor:
+            return
+        repaired = 0
+        for instance in range(cursor, highest):
+            if acceptor.is_decided(instance):
+                continue
+            value = acceptor.accepted_value(instance)
+            if value is None:
+                # This coordinator never voted for the instance (state lost
+                # in a crash): nothing can have been decided with its ballot,
+                # so a skip closes the hole safely.
+                value = CoordinatorState.skip_value()
+            self._emit_phase2(instance, value, span=1)
+            repaired += 1
+            if repaired >= 512:
+                break  # bound the burst; the next tick continues
+
+    def _handle_retransmit_reply(self, message: RetransmitReply) -> bool:
+        """Feed gap-repair retransmissions to the learner.
+
+        Recovery-reason replies are left to the hosting replica's
+        RecoveryManager (the dispatcher falls through to the service layer
+        when this returns ``False``).
+        """
+        if message.reason != GAP_REPAIR:
+            return False
+        if self.learner is not None:
+            for instance, value in message.decided:
+                if value is not None:
+                    self.learner.inject_decided(instance, value)
+        return True
 
     # ------------------------------------------------------------------ crash
     def crash(self) -> None:
@@ -540,6 +723,10 @@ class RingNode:
             batch_policy=self.config.batch_policy,
             rate_policy=self.config.rate_policy,
         )
+        # Taking over mid-stream: repair unfinished instances of the previous
+        # coordinator once the new Phase 1 reaches a quorum.
+        self._takeover_accepted.clear()
+        self._takeover_repair_pending = True
         # Do not reuse instances this process already knows to be in use.
         if self.learner is not None:
             self.coordinator.ledger.observe_instance(self.learner.highest_decided)
@@ -552,3 +739,6 @@ class RingNode:
                 self.host.set_periodic_timer(self.config.rate_interval, self._rate_level_tick)
             if self.config.trim_interval is not None:
                 self.host.set_periodic_timer(self.config.trim_interval, self._trim_tick)
+            if self.config.gap_repair_interval is not None:
+                self._hole_cursor_prev = -1
+                self.host.set_periodic_timer(self.config.gap_repair_interval, self._hole_repair_tick)

@@ -51,6 +51,7 @@ class Environment:
         self.network: Optional["Network"] = None
         self.topology: Optional["Topology"] = None
         self._actors: Dict[str, "Actor"] = {}
+        self._disks: List[Any] = []
 
     # ------------------------------------------------------------------ time
     @property
@@ -84,6 +85,15 @@ class Environment:
     def has_actor(self, name: str) -> bool:
         """Whether an actor with this name is registered."""
         return name in self._actors
+
+    # ----------------------------------------------------------------- disks
+    def register_disk(self, disk: Any) -> None:
+        """Track a storage device (fault injection targets them by name)."""
+        self._disks.append(disk)
+
+    def disks(self) -> List[Any]:
+        """Every storage device created in this environment."""
+        return list(self._disks)
 
     # --------------------------------------------------------------- running
     def run(self, until: Optional[float] = None) -> float:

@@ -120,6 +120,10 @@ class Disk:
         self._free_at = 0.0
         self._bytes_written = 0
         self._writes = 0
+        #: fault-injection hook: every write takes ``_slowdown`` times longer
+        #: while a latency spike is active (1.0 = healthy device)
+        self._slowdown = 1.0
+        env.register_disk(self)
 
     # ------------------------------------------------------------- accounting
     @property
@@ -131,6 +135,28 @@ class Disk:
     def write_count(self) -> int:
         """Total number of write requests issued."""
         return self._writes
+
+    # -------------------------------------------------------- fault injection
+    @property
+    def slowdown(self) -> float:
+        """Current latency-spike multiplier (1.0 when the device is healthy)."""
+        return self._slowdown
+
+    def set_slowdown(self, factor: float) -> None:
+        """Make every subsequent write take ``factor`` times longer.
+
+        Models a degraded device (background GC on an SSD, a remapped sector
+        storm on an HDD, a saturated controller).  Only writes issued while
+        the spike is active are affected; the chaos harness uses this for its
+        disk-latency-spike fault.
+        """
+        if factor <= 0:
+            raise ValueError("slowdown factor must be positive")
+        self._slowdown = factor
+
+    def clear_slowdown(self) -> None:
+        """End a latency spike (back to the profile's nominal timings)."""
+        self._slowdown = 1.0
 
     def utilization(self, start: float, end: float) -> float:
         """Rough device busy fraction over an interval (based on queue state)."""
@@ -160,6 +186,8 @@ class Disk:
         now = self.env.simulator.now
         start = max(now, self._free_at)
         duration = self.profile.write_time(size_bytes)
+        if self._slowdown != 1.0:
+            duration *= self._slowdown
         finish = start + duration
         self._free_at = finish
         self._bytes_written += size_bytes

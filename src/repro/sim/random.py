@@ -81,7 +81,15 @@ class ZipfianGenerator:
         self._zetan = self._zeta(item_count, theta)
         self._zeta2 = self._zeta(2, theta)
         self._alpha = 1.0 / (1.0 - theta)
-        self._eta = (1 - (2.0 / item_count) ** (1 - theta)) / (1 - self._zeta2 / self._zetan)
+        # For item_count <= 2 the classic eta expression degenerates (at
+        # n == 2, zeta(2) == zeta(n) zeroes the denominator; at n == 1 it goes
+        # negative).  Those keyspaces never reach the eta branch of next() —
+        # every draw lands in the first two analytic branches — so eta only
+        # needs a well-defined placeholder there.
+        if self._zetan == self._zeta2:
+            self._eta = 0.0
+        else:
+            self._eta = (1 - (2.0 / item_count) ** (1 - theta)) / (1 - self._zeta2 / self._zetan)
 
     @staticmethod
     def _zeta(n: int, theta: float) -> float:
@@ -95,7 +103,10 @@ class ZipfianGenerator:
             return 0
         if uz < 1.0 + 0.5 ** self._theta:
             return 1
-        return int(self._items * (self._eta * u - self._eta + 1) ** self._alpha)
+        key = int(self._items * (self._eta * u - self._eta + 1) ** self._alpha)
+        # Floating-point round-off at u → 1 can land exactly on item_count;
+        # clamp so the YCSB semantics (keys in [0, item_count)) always hold.
+        return key if key < self._items else self._items - 1
 
 
 class LatestGenerator:

@@ -1,0 +1,30 @@
+"""The full seeded chaos sweep (CI's ``-m slow`` tier includes it).
+
+Runs 200+ random scenarios — every family, every fault kind — and requires
+every invariant to hold.  A failure prints the seed and the repro artifact
+path; replay locally with ``PYTHONPATH=src python -m repro.chaos --seed N``.
+"""
+
+import pytest
+
+from repro.chaos import run_scenario
+
+SWEEP_START = 0
+SWEEP_COUNT = 208
+
+
+@pytest.mark.slow
+class TestChaosSweep:
+    @pytest.mark.parametrize("block", range(8))
+    def test_sweep_block(self, block, tmp_path):
+        """26 seeds per block so a failure narrows to a small range fast."""
+        size = SWEEP_COUNT // 8
+        failures = []
+        for seed in range(SWEEP_START + block * size, SWEEP_START + (block + 1) * size):
+            result = run_scenario(seed, artifacts_dir=str(tmp_path))
+            if not result.ok:
+                failures.append(
+                    f"seed {seed} ({result.family}): "
+                    + "; ".join(str(v) for v in result.violations)
+                )
+        assert not failures, "\n".join(failures)

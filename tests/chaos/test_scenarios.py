@@ -1,0 +1,71 @@
+"""Seeded chaos scenarios: smoke matrix, determinism, repro artifacts.
+
+The full 200-seed sweep lives in ``test_chaos_sweep.py`` (marked slow); this
+module keeps a fast cross-family subset in tier 1 so every PR exercises the
+harness end to end.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import generate_spec, run_scenario
+
+#: Fast smoke subset: spans all three families (amcast/kvstore/dlog) and all
+#: fault kinds at the generator's default weights.
+SMOKE_SEEDS = list(range(0, 24))
+
+
+class TestScenarioGeneration:
+    def test_spec_is_deterministic_in_the_seed(self):
+        assert generate_spec(123) == generate_spec(123)
+
+    def test_different_seeds_differ(self):
+        assert generate_spec(1) != generate_spec(2)
+
+    def test_specs_are_json_serialisable(self):
+        for seed in range(10):
+            json.dumps(generate_spec(seed))
+
+    def test_all_families_appear_in_the_smoke_range(self):
+        families = {generate_spec(seed)["family"] for seed in SMOKE_SEEDS}
+        assert families == {"amcast", "kvstore", "dlog"}
+
+    def test_schedules_heal_everything_they_break(self):
+        for seed in range(40):
+            spec = generate_spec(seed)
+            events = spec["schedule"]
+            crashed = [e["params"]["process"] for e in events if e["action"] == "crash"]
+            restarted = [e["params"]["process"] for e in events if e["action"] == "restart"]
+            assert sorted(crashed) == sorted(restarted), f"seed {seed}"
+            assert len([e for e in events if e["action"] == "partition"]) == len(
+                [e for e in events if e["action"] == "heal"]
+            ), f"seed {seed}"
+            assert len([e for e in events if e["action"] == "isolate"]) == len(
+                [e for e in events if e["action"] == "rejoin"]
+            ), f"seed {seed}"
+
+
+class TestScenarioSmoke:
+    @pytest.mark.parametrize("seed", SMOKE_SEEDS)
+    def test_invariants_hold(self, seed, tmp_path):
+        result = run_scenario(seed, artifacts_dir=str(tmp_path))
+        assert result.ok, (
+            f"seed {seed} ({result.family}) violated: "
+            + "; ".join(str(v) for v in result.violations)
+        )
+
+    def test_scenarios_actually_deliver_traffic(self, tmp_path):
+        result = run_scenario(0, artifacts_dir=str(tmp_path))
+        assert result.stats["sent"] > 0
+        assert all(count > 0 for count in result.stats["deliveries"].values())
+
+    def test_scenarios_actually_inject_faults(self):
+        fault_counts = [generate_spec(seed)["schedule"] for seed in SMOKE_SEEDS]
+        assert all(len(events) > 0 for events in fault_counts)
+
+    def test_same_seed_reproduces_identical_outcome(self, tmp_path):
+        first = run_scenario(3, artifacts_dir=str(tmp_path))
+        second = run_scenario(3, artifacts_dir=str(tmp_path))
+        assert first.stats == second.stats
+        assert first.family == second.family

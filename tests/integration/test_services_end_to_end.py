@@ -75,6 +75,7 @@ class TestGeoDistributedStore:
 
 
 class TestMixedServiceDeployment:
+    @pytest.mark.slow
     def test_kvstore_and_dlog_share_one_deployment(self):
         config = MultiRingConfig(rate_interval=0.005, max_rate=500.0,
                                  checkpoint_interval=None, trim_interval=None)

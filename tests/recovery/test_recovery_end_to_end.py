@@ -1,8 +1,17 @@
-"""End-to-end tests of the recovery protocol on a running deployment."""
+"""End-to-end tests of the recovery protocol on a running deployment.
+
+Every test here simulates many seconds of checkpoint/trim/recovery traffic
+(the whole module costs ~130 s of the tier-1 budget), so the module is marked
+``slow``: the default ``-m "not slow"`` tier skips it, CI runs it with
+``-m slow``.  The fast fault-path coverage lives in ``test_recovery_faults.py``
+and ``tests/chaos/``.
+"""
 
 import random
 
 import pytest
+
+pytestmark = pytest.mark.slow
 
 from repro.core import AtomicMulticast, MultiRingConfig
 from repro.kvstore import MRPStoreService

@@ -181,6 +181,91 @@ class TestCancellationCompaction:
         assert fired == ["x"]
 
 
+def _run_faulted_stack(seed: int):
+    """A two-site ring workload with partitions and isolation active mid-run.
+
+    Exercises the `_has_faults` guard differentially: sends issued while
+    links are cut or a site is isolated must be dropped (and delivery times
+    of everything else unchanged) identically on both substrates.
+    """
+    from repro.sim.topology import Topology
+
+    topo = Topology(local_latency=0.00005, local_bandwidth_bps=10e9)
+    topo.add_site("a")
+    topo.add_site("b")
+    topo.set_link("a", "b", one_way_latency=0.002, bandwidth_bps=1e9)
+    config = MultiRingConfig(
+        storage_mode=StorageMode.IN_MEMORY,
+        batching_enabled=False,
+        rate_interval=None,
+        checkpoint_interval=None,
+        trim_interval=None,
+    )
+    system = AtomicMulticast(topology=topo, config=config, seed=seed)
+    processes = [
+        _Recorder(system.env, f"n{i}") for i in range(4)
+    ]
+    for process, site in zip(processes, ["a", "a", "b", "b"]):
+        process.site = site
+    system.create_ring(0, [(p.name, "pal") for p in processes])
+    network = system.network
+    sim = system.env.simulator
+    sim.call_later(0.011, network.partition, "a", "b")
+    sim.call_later(0.016, network.heal, "a", "b")
+    sim.call_later(0.020, network.isolate_site, "b")
+    sim.call_later(0.024, network.rejoin_site, "b")
+    sim.call_later(0.027, network.partition, "b", "a", False)  # one-way cut
+    sim.call_later(0.031, network.heal_all)
+    system.start()
+    for p in processes:
+        p.multicast(0, payload=(p.name, 0), size_bytes=512)
+    rng = random.Random(seed)
+    for i in range(60):
+        proposer = processes[rng.randrange(4)]
+        sim.call_later(
+            0.0005 * i,
+            lambda p=proposer, i=i: p.multicast(0, payload=("x", i), size_bytes=256),
+        )
+    system.run(until=0.5)
+    return (
+        [p.delivered for p in processes],
+        (system.network.stats.messages, system.network.stats.dropped),
+    )
+
+
+class TestSeedDifferentialFaultPath:
+    @pytest.mark.parametrize("seed", [2, 13, 77])
+    def test_partitions_and_isolation_behave_identically_to_seed(self, monkeypatch, seed):
+        """Same seed, faults active → identical deliveries AND drop counts."""
+        fast_deliveries, fast_stats = _run_faulted_stack(seed)
+        monkeypatch.setattr(actor_mod, "Simulator", LegacySimulator)
+        monkeypatch.setattr(amcast, "Network", LegacyNetwork)
+        legacy_deliveries, legacy_stats = _run_faulted_stack(seed)
+        assert fast_deliveries == legacy_deliveries
+        assert fast_stats == legacy_stats
+        assert fast_stats[1] > 0, "the fault window dropped nothing — dead test"
+        assert any(len(d) > 0 for d in fast_deliveries)
+
+    def test_fault_flag_tracks_partitions(self):
+        from repro.sim.topology import Topology
+        from repro.sim.actor import Environment
+
+        topo = Topology()
+        topo.add_site("a")
+        topo.add_site("b")
+        topo.set_link("a", "b", 0.001)
+        network = Network(Environment(seed=1), topo)
+        assert not network.has_active_faults
+        network.partition("a", "b")
+        assert network.has_active_faults
+        network.heal("a", "b")
+        assert not network.has_active_faults
+        network.isolate_site("a")
+        assert network.has_active_faults
+        network.heal_all()
+        assert not network.has_active_faults
+
+
 class TestNetworkFastPathEquivalence:
     def test_connection_cache_matches_seed_network_delivery_times(self):
         """Bit-level: cached-connection sends vs the seed network's lookups."""
