@@ -34,6 +34,33 @@ def test_fig6_point(benchmark, rings: int, windows):
     assert result.metrics["aggregate_ops"] > 0
 
 
+@pytest.mark.parametrize("rings", _RING_COUNTS)
+def test_fig6_point_sharded(benchmark, rings: int, windows, workers):
+    """One ring-count point on the sharded engine (``--workers N``).
+
+    Each ring runs as its own shard (independent-rings configuration) spread
+    over ``N`` worker processes; compare ``aggregate_ops`` and the recorded
+    wall clock against the single-loop points above to see the multi-core
+    scaling curve.
+    """
+    if workers is None:
+        pytest.skip("pass --workers N to run the sharded figure points")
+    warmup, duration = windows
+
+    def run():
+        return run_fig6_point(
+            rings,
+            clients_per_ring=_CLIENTS_PER_RING,
+            warmup=warmup,
+            duration=duration,
+            workers=workers,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(result.metrics)
+    assert result.metrics["aggregate_ops"] > 0
+
+
 def test_fig6_report(benchmark):
     """Print the Figure 6 series and check near-linear scaling."""
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -40,6 +40,32 @@ def test_fig7_point(benchmark, regions: int, windows):
     assert result.metrics["aggregate_ops"] > 0
 
 
+@pytest.mark.parametrize("regions", _REGION_COUNTS)
+def test_fig7_point_sharded(benchmark, regions: int, windows, workers):
+    """One region-count point on the sharded engine (``--workers N``).
+
+    One shard per region (no global ring), spread over ``N`` worker
+    processes — the multi-core re-measurement of horizontal scalability.
+    """
+    if workers is None:
+        pytest.skip("pass --workers N to run the sharded figure points")
+    warmup, duration = windows
+    duration = max(duration, 3.0)
+
+    def run():
+        return run_fig7_point(
+            regions,
+            clients_per_region=_CLIENTS_PER_REGION,
+            warmup=warmup,
+            duration=duration,
+            workers=workers,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(result.metrics)
+    assert result.metrics["aggregate_ops"] > 0
+
+
 def test_fig7_report(benchmark):
     """Print the Figure 7 series and check scaling plus flat latency."""
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -18,6 +18,15 @@ def pytest_addoption(parser):
         default=False,
         help="run the full-scale experiments (much slower, closer to the paper's durations)",
     )
+    parser.addoption(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "re-measure the scalability figures (6/7) on the sharded engine "
+            "with this many worker processes (independent-rings configuration)"
+        ),
+    )
 
 
 @pytest.fixture(scope="session")
@@ -32,3 +41,9 @@ def windows(full_scale):
     if full_scale:
         return 2.0, 20.0
     return 0.5, 1.5
+
+
+@pytest.fixture(scope="session")
+def workers(request):
+    """Worker-process count for the sharded figure points (None = skip them)."""
+    return request.config.getoption("--workers")

@@ -8,10 +8,22 @@ of messages and shows that
 * processes subscribed to both groups deliver them in exactly the same order
   (the paper's "order" property), thanks to the deterministic merge.
 
-Run with:  python examples/quickstart.py
+Run from the repository root with:
+
+    PYTHONPATH=src python examples/quickstart.py
+
+(`tests/examples/test_quickstart.py` runs exactly that command and asserts
+this script's output, so the README quickstart stays green.)
 """
 
 from __future__ import annotations
+
+import os
+import sys
+
+# Make the example work from a plain checkout (no install, no PYTHONPATH):
+# the package lives in <repo>/src.
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.core import AtomicMulticast, MultiRingConfig
 from repro.multiring import MultiRingProcess
@@ -29,7 +41,7 @@ class PrintingLearner(MultiRingProcess):
         self.delivered.append((group_id, value.payload))
 
 
-def main() -> None:
+def main() -> dict:
     # Rate leveling keeps a lightly loaded ring from stalling the other one.
     config = MultiRingConfig(rate_interval=0.005, max_rate=1000.0,
                              checkpoint_interval=None, trim_interval=None)
@@ -63,6 +75,7 @@ def main() -> None:
     assert [p for _, p in only_a.delivered] == [f"a{i}" for i in range(5)]
     assert [p for _, p in only_b.delivered] == [f"b{i}" for i in range(5)]
     print("\natomic multicast properties hold: agreement, validity, acyclic order")
+    return {p.name: p.delivered for p in (*both, only_a, only_b)}
 
 
 if __name__ == "__main__":

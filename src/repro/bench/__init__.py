@@ -6,8 +6,9 @@ from .fig5_dlog import FIG5_CLIENT_THREADS, FIG5_SYSTEMS, run_fig5, run_fig5_poi
 from .fig6_vertical import FIG6_RING_COUNTS, run_fig6, run_fig6_point
 from .fig7_horizontal import FIG7_REGION_COUNTS, run_fig7, run_fig7_point
 from .fig8_recovery import FIG8_EVENTS, RecoveryTimeline, run_fig8
+from .parallel import run_fig6_sharded, run_fig7_sharded
 from .reporting import format_results, format_table, print_results, relative_increments
-from .runner import ExperimentResult, MeasurementWindow, measure
+from .runner import ExperimentResult, MeasurementWindow, ShardedMeasurement, measure
 
 __all__ = [
     "FIG3_STORAGE_MODES",
@@ -37,5 +38,8 @@ __all__ = [
     "relative_increments",
     "ExperimentResult",
     "MeasurementWindow",
+    "ShardedMeasurement",
     "measure",
+    "run_fig6_sharded",
+    "run_fig7_sharded",
 ]

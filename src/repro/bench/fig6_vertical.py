@@ -43,10 +43,29 @@ def run_fig6_point(
     warmup: float = 1.0,
     duration: float = 8.0,
     seed: int = 42,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
-    """Run one ring-count point of Figure 6."""
+    """Run one ring-count point of Figure 6.
+
+    ``workers`` switches to the sharded engine (one shard per ring in the
+    independent-rings configuration, spread over that many cores — see
+    :func:`repro.bench.parallel.run_fig6_sharded`).  ``None`` (default) runs
+    the figure's original deployment — shared learners, a common ring — on
+    one event loop.
+    """
     if ring_count < 1:
         raise ValueError("ring_count must be >= 1")
+    if workers is not None:
+        from .parallel import run_fig6_sharded
+
+        return run_fig6_sharded(
+            ring_count,
+            workers=workers,
+            clients_per_ring=clients_per_ring,
+            warmup=warmup,
+            duration=duration,
+            seed=seed,
+        )
     config = MultiRingConfig(
         storage_mode=StorageMode.ASYNC_HDD,
         batching_enabled=True,

@@ -50,6 +50,7 @@ def run_fig7_point(
     duration: float = 10.0,
     seed: int = 42,
     offered_rate_per_region: float = 400.0,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Run one region-count point of Figure 7.
 
@@ -60,9 +61,26 @@ def run_fig7_point(
     other regions participate.  ``clients_per_region`` is kept for API
     compatibility and bounds the number of outstanding requests implicitly
     through the offered rate.
+
+    ``workers`` switches to the sharded engine (one shard per region without
+    the global ring, spread over that many cores — see
+    :func:`repro.bench.parallel.run_fig7_sharded`); ``None`` runs the original
+    globally ordered deployment on one event loop.
     """
     if not 1 <= region_count <= len(EC2_REGIONS):
         raise ValueError(f"region_count must be within 1..{len(EC2_REGIONS)}")
+    if workers is not None:
+        from .parallel import run_fig7_sharded
+
+        return run_fig7_sharded(
+            region_count,
+            workers=workers,
+            key_count=key_count,
+            warmup=warmup,
+            duration=duration,
+            seed=seed,
+            offered_rate_per_region=offered_rate_per_region,
+        )
     regions = list(EC2_REGIONS[:region_count])
     config = global_config(storage_mode=StorageMode.ASYNC_SSD).with_(
         batching_enabled=True,

@@ -1,0 +1,365 @@
+"""Sharded (multi-core) variants of the scalability figures.
+
+The single-process figure runners execute every ring on one event loop; the
+runners here re-measure vertical (Figure 6) and horizontal (Figure 7)
+scalability with the deployment's independent rings partitioned across real
+cores via :func:`repro.sim.parallel.run_sharded`.
+
+The sharded deployments use the *independent rings* configuration: each
+shard hosts complete rings — acceptors, its own replica/learner, its own
+clients — and no process participates in rings of two shards, which is the
+precondition for sharded execution (see :mod:`repro.multiring.sharding`).
+Figure 6's shared learner set (every replica subscribed to all rings plus a
+common ring) and Figure 7's global ring tie all rings into one component and
+therefore cannot shard; the paper's scaling claim — rings do not interfere —
+is exactly what the independent configuration isolates, so the sharded
+curves measure the same property on real cores.
+
+Determinism: ``run_figN_sharded(..., workers=k)`` is bit-identical for every
+``k`` — the engine executes the same per-shard simulators whether they run
+sequentially in-process (``workers=1``, the single-process reference engine)
+or in ``k`` worker processes.  ``tests/bench/test_parallel_differential.py``
+asserts this on full per-learner delivery sequences, and
+``benchmarks/bench_parallel.py`` records the wall-clock speedup in
+``BENCH_parallel.json``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.amcast import AtomicMulticast
+from ..core.client import ClosedLoopClient, OpenLoopClient
+from ..core.config import MultiRingConfig, global_config
+from ..sim.disk import StorageMode
+from ..sim.parallel import ParallelRunResult, ShardSpec, run_sharded
+from ..sim.topology import EC2_REGIONS, ec2_global, single_datacenter
+from .runner import ExperimentResult, MeasurementWindow, ShardedMeasurement
+
+__all__ = ["run_fig6_sharded", "run_fig7_sharded"]
+
+
+def _stable_payload_key(payload: Any) -> Any:
+    """A payload identity stable across engine configurations.
+
+    ``Command.command_id`` is drawn from a process-global counter whose value
+    depends on how shards interleave in one process, so raw ``repr`` strings
+    are not comparable between a ``workers=1`` and a ``workers=k`` run.  The
+    semantic identity — who issued what operation with which arguments at
+    what time — is.
+    """
+    from ..core.client import Command, CommandBatch
+
+    if isinstance(payload, Command):
+        return (payload.op, payload.args, payload.group_id, payload.client,
+                payload.created_at)
+    if isinstance(payload, CommandBatch):
+        return tuple(_stable_payload_key(command) for command in payload)
+    return repr(payload)
+
+
+def _delivery_digest(recorder) -> Dict[str, List[tuple]]:
+    """Per-learner delivery sequences in a picklable, comparable form."""
+    return {
+        name: [
+            (record.group, record.instance, _stable_payload_key(record.payload))
+            for record in trace.records
+        ]
+        for name, trace in recorder.traces.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 (vertical scalability) — one shard per ring+disk
+# ---------------------------------------------------------------------------
+
+def _build_fig6_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
+    """Build one Figure 6 shard: a subset of log rings with its own replica.
+
+    Runs inside the worker process.  Mirrors
+    :func:`repro.bench.fig6_vertical.run_fig6_point` except that the shard's
+    replica learns only from the shard's rings (independent-rings
+    configuration) — the shared learner set of the figure's original
+    deployment would tie every ring into one component.
+    """
+    from ..dlog.client import append_request_factory
+    from ..dlog.service import DLogService
+    from ..workloads.log import single_log
+
+    config = MultiRingConfig(
+        storage_mode=StorageMode.ASYNC_HDD,
+        batching_enabled=True,
+        batch_max_bytes=32 * 1024,
+        rate_interval=0.005,
+        max_rate=4000.0,
+        checkpoint_interval=None,
+        trim_interval=None,
+    )
+    system = AtomicMulticast(
+        topology=single_datacenter(), config=config, seed=payload["seed"]
+    )
+    log_ids = list(payload["log_ids"])
+    service = DLogService(
+        system,
+        log_ids=log_ids,
+        acceptors_per_log=2,
+        replica_count=1,
+        common_ring_id=None,
+        dedicated_disks=True,
+        config=config,
+    )
+    for log_id in log_ids:
+        factory = append_request_factory(
+            service.commands,
+            log_chooser=single_log(log_id),
+            append_bytes=payload["append_bytes"],
+        )
+        ClosedLoopClient(
+            system.env,
+            f"fig6-client{log_id}",
+            frontends_by_group=service.frontend_map(),
+            request_factory=factory,
+            concurrency=payload["clients_per_ring"],
+            metric_prefix=f"fig6.ring{log_id}",
+        )
+
+    metric_names = [f"fig6.ring{log_id}" for log_id in log_ids]
+    harness = ShardedMeasurement(
+        system,
+        MeasurementWindow(warmup=payload["warmup"], duration=payload["duration"]),
+        throughput_metrics=[f"{m}.throughput" for m in metric_names],
+        latency_metrics=[f"{m}.latency" for m in metric_names],
+    )
+    if payload.get("record_deliveries"):
+        from ..chaos.trace import TraceRecorder
+
+        recorder = TraceRecorder()
+        for replica in service.replicas:
+            recorder.attach(replica)
+
+        original_finalize = harness.finalize
+
+        def finalize() -> Dict[str, Any]:
+            result = original_finalize()
+            result["deliveries"] = _delivery_digest(recorder)
+            return result
+
+        harness.finalize = finalize  # type: ignore[method-assign]
+    return harness
+
+
+def run_fig6_sharded(
+    ring_count: int,
+    workers: int = 1,
+    clients_per_ring: int = 8,
+    warmup: float = 1.0,
+    duration: float = 8.0,
+    seed: int = 42,
+    append_bytes: int = 1024,
+    record_deliveries: bool = False,
+) -> ExperimentResult:
+    """Figure 6 point with one shard per ring, spread over ``workers`` cores.
+
+    Returns the usual :class:`ExperimentResult` plus parallel-run accounting
+    (``wall_clock_s``, ``events_total``, ``workers``).  With
+    ``record_deliveries=True`` each shard's full per-learner delivery
+    sequence is included under ``series['deliveries']`` keyed by shard id —
+    the payload the seed-differential test compares across worker counts.
+    """
+    if ring_count < 1:
+        raise ValueError("ring_count must be >= 1")
+    specs = [
+        ShardSpec(
+            shard_id=ring,
+            build=_build_fig6_shard,
+            payload={
+                "log_ids": [ring],
+                "clients_per_ring": clients_per_ring,
+                "warmup": warmup,
+                "duration": duration,
+                "seed": seed,
+                "append_bytes": append_bytes,
+                "record_deliveries": record_deliveries,
+            },
+        )
+        for ring in range(ring_count)
+    ]
+    run = run_sharded(specs, workers=workers)
+    return _collect(
+        "fig6-sharded",
+        run,
+        params={"rings": ring_count, "workers": run.workers},
+        rate_keys={
+            ring: [f"fig6.ring{ring}.throughput.rate"] for ring in range(ring_count)
+        },
+        latency_key=(0, "fig6.ring0.latency.mean_ms"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 (horizontal scalability) — one shard per region
+# ---------------------------------------------------------------------------
+
+def _build_fig7_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
+    """Build one Figure 7 shard: one region's partition ring plus its client.
+
+    Mirrors :func:`repro.bench.fig7_horizontal.run_fig7_point` in the
+    independent-rings configuration (no global ring): clients only ever touch
+    their local partition, which is the property the figure measures.
+    """
+    import random as _random
+
+    from ..kvstore.client import MRPStoreCommands, kv_request_factory
+    from ..kvstore.partitioning import HashPartitioner
+    from ..kvstore.service import MRPStoreService
+    from ..workloads.kv import preload_keys, update_only_workload
+
+    region = payload["region"]
+    group = payload["group"]
+    config = global_config(storage_mode=StorageMode.ASYNC_SSD).with_(
+        batching_enabled=True,
+        batch_max_bytes=32 * 1024,
+        checkpoint_interval=None,
+        trim_interval=None,
+    )
+    system = AtomicMulticast(
+        topology=ec2_global([region]), config=config, seed=payload["seed"]
+    )
+    service = MRPStoreService(
+        system,
+        partition_groups=[group],
+        acceptors_per_partition=3,
+        replicas_per_partition=1,
+        site_for_partition={group: region},
+        global_ring_id=None,
+        config=config,
+    )
+    service.preload(preload_keys(payload["key_count"]))
+
+    rng = _random.Random(payload["seed"] + group)
+    workload = update_only_workload(
+        rng,
+        key_count=payload["key_count"],
+        value_bytes=payload["update_bytes"],
+        key_prefix=f"r{group}-key",
+    )
+    commands = MRPStoreCommands(HashPartitioner([group]))
+    OpenLoopClient(
+        system.env,
+        f"fig7-client-{region}",
+        frontends_by_group=service.frontend_map(preferred_site=region),
+        request_factory=kv_request_factory(commands, workload),
+        rate_per_second=payload["offered_rate"],
+        site=region,
+        metric_prefix=f"fig7.{region}",
+    )
+    harness = ShardedMeasurement(
+        system,
+        MeasurementWindow(warmup=payload["warmup"], duration=payload["duration"]),
+        throughput_metrics=[f"fig7.{region}.throughput"],
+        latency_metrics=[f"fig7.{region}.latency"],
+    )
+    if payload.get("record_deliveries"):
+        from ..chaos.trace import TraceRecorder
+
+        recorder = TraceRecorder()
+        for replicas in service.replicas.values():
+            for replica in replicas:
+                recorder.attach(replica)
+
+        original_finalize = harness.finalize
+
+        def finalize() -> Dict[str, Any]:
+            result = original_finalize()
+            result["deliveries"] = _delivery_digest(recorder)
+            return result
+
+        harness.finalize = finalize  # type: ignore[method-assign]
+    return harness
+
+
+def run_fig7_sharded(
+    region_count: int,
+    workers: int = 1,
+    key_count: int = 2000,
+    warmup: float = 2.0,
+    duration: float = 10.0,
+    seed: int = 42,
+    offered_rate_per_region: float = 400.0,
+    update_bytes: int = 1024,
+    record_deliveries: bool = False,
+) -> ExperimentResult:
+    """Figure 7 point with one shard per region, spread over ``workers`` cores."""
+    if not 1 <= region_count <= len(EC2_REGIONS):
+        raise ValueError(f"region_count must be within 1..{len(EC2_REGIONS)}")
+    regions = list(EC2_REGIONS[:region_count])
+    specs = [
+        ShardSpec(
+            shard_id=group,
+            build=_build_fig7_shard,
+            payload={
+                "region": region,
+                "group": group,
+                "key_count": key_count,
+                "warmup": warmup,
+                "duration": duration,
+                "seed": seed,
+                "offered_rate": offered_rate_per_region,
+                "update_bytes": update_bytes,
+                "record_deliveries": record_deliveries,
+            },
+        )
+        for group, region in enumerate(regions)
+    ]
+    run = run_sharded(specs, workers=workers)
+    observed = 0 if "us-west-2" not in regions else regions.index("us-west-2")
+    return _collect(
+        "fig7-sharded",
+        run,
+        params={"regions": region_count, "workers": run.workers},
+        rate_keys={
+            group: [f"fig7.{region}.throughput.rate"]
+            for group, region in enumerate(regions)
+        },
+        latency_key=(observed, f"fig7.{regions[observed]}.latency.mean_ms"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shared result assembly
+# ---------------------------------------------------------------------------
+
+def _collect(
+    name: str,
+    run: ParallelRunResult,
+    params: Dict[str, Any],
+    rate_keys: Dict[int, List[str]],
+    latency_key,
+) -> ExperimentResult:
+    aggregate = 0.0
+    per_shard: Dict[int, float] = {}
+    for shard_id, keys in rate_keys.items():
+        shard_rate = sum(run.results[shard_id].get(key, 0.0) for key in keys)
+        per_shard[shard_id] = shard_rate
+        aggregate += shard_rate
+    latency_shard, latency_name = latency_key
+    deliveries = {
+        shard_id: result["deliveries"]
+        for shard_id, result in run.results.items()
+        if isinstance(result, dict) and "deliveries" in result
+    }
+    result = ExperimentResult(
+        name=name,
+        params=params,
+        metrics={
+            "aggregate_ops": aggregate,
+            "latency_mean_ms": run.results[latency_shard].get(latency_name, 0.0),
+            "wall_clock_s": run.wall_clock,
+            "events_total": float(run.total_events),
+            "workers": float(run.workers),
+        },
+        series={"per_shard_ops": sorted(per_shard.items())},
+    )
+    if deliveries:
+        result.series["deliveries"] = deliveries
+    return result

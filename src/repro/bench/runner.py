@@ -23,8 +23,9 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.amcast import AtomicMulticast
 from ..sim.metrics import LatencyRecorder, ThroughputTracker
+from ..sim.parallel import ShardHarness
 
-__all__ = ["ExperimentResult", "measure", "MeasurementWindow"]
+__all__ = ["ExperimentResult", "measure", "MeasurementWindow", "ShardedMeasurement"]
 
 
 @dataclass
@@ -100,3 +101,57 @@ def measure(
             (t - start, rate) for t, rate in tracker.timeline(start, end)
         ]
     return results
+
+
+class ShardedMeasurement(ShardHarness):
+    """One shard of a sharded experiment, measured like :func:`measure`.
+
+    Used by the parallel figure runners (:mod:`repro.bench.parallel`): the
+    shard builder constructs its sub-deployment inside the worker process and
+    wraps it in this harness, which runs the standard warm-up/measure script
+    when the engine hands it the (single) window and ships the metric
+    dictionary back to the parent through :meth:`finalize`.
+
+    ``extra`` lets a builder attach additional picklable results (delivery
+    digests for the differential tests, event counts, ...).
+    """
+
+    def __init__(
+        self,
+        system: AtomicMulticast,
+        window: MeasurementWindow,
+        throughput_metrics: Sequence[str] = (),
+        latency_metrics: Sequence[str] = (),
+    ) -> None:
+        super().__init__(system.env)
+        self.system = system
+        self.window = window
+        self.throughput_metrics = list(throughput_metrics)
+        self.latency_metrics = list(latency_metrics)
+        self.results: Dict[str, Any] = {}
+        self.extra: Dict[str, Any] = {}
+
+    def start(self) -> None:
+        self.system.start()
+
+    def run_window(self, end: Optional[float]) -> None:
+        # Sharded figure points exchange no cross-shard messages, so the
+        # engine hands over exactly one window and the whole warm-up/measure
+        # script runs here, inside the worker.
+        if self.results:
+            raise RuntimeError(
+                "ShardedMeasurement needs single-window execution "
+                "(run_sharded without lookahead)"
+            )
+        self.results = measure(
+            self.system,
+            self.window,
+            throughput_metrics=self.throughput_metrics,
+            latency_metrics=self.latency_metrics,
+        )
+
+    def finalize(self) -> Dict[str, Any]:
+        payload = dict(self.results)
+        payload["events"] = self.env.simulator.processed_events
+        payload.update(self.extra)
+        return payload

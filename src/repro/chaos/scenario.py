@@ -33,9 +33,11 @@ from ..core.amcast import AtomicMulticast
 from ..core.client import Command
 from ..core.config import MultiRingConfig
 from ..multiring.process import MultiRingProcess
+from ..multiring.sharding import ring_components
 from ..net.message import ClientRequest, ClientResponse
-from ..sim.actor import Actor
+from ..sim.actor import Actor, Environment
 from ..sim.disk import StorageMode
+from ..sim.parallel import ShardHarness, ShardSpec, run_sharded
 from ..sim.topology import Topology, single_datacenter
 from .oracle import (
     Violation,
@@ -46,7 +48,13 @@ from .oracle import (
 from .schedule import FaultSchedule
 from .trace import TraceRecorder
 
-__all__ = ["ScenarioResult", "generate_spec", "run_scenario", "main"]
+__all__ = [
+    "ScenarioResult",
+    "generate_spec",
+    "run_scenario",
+    "shardable_components",
+    "main",
+]
 
 #: Phase lengths shared by every family (simulated seconds).
 SETTLE = 0.3
@@ -105,19 +113,35 @@ def _pick_storage(rng: random.Random) -> str:
 def _generate_amcast_spec(rng: random.Random) -> Dict[str, Any]:
     site_count = rng.choice([1, 2, 2, 3])
     sites = [f"s{i}" for i in range(site_count)]
-    process_count = rng.randint(4, 6)
+    ring_count = rng.choice([1, 2, 2, 3])
+    # A quarter of the multi-ring scenarios use process-disjoint rings — the
+    # paper's independent-rings shape with zero cross-ring traffic, which is
+    # also what opts a scenario into sharded execution (--workers).
+    disjoint = ring_count > 1 and rng.random() < 0.25
+    if disjoint:
+        process_count = 3 * ring_count + rng.randint(0, 2)
+    else:
+        process_count = rng.randint(4, 6)
     processes = {f"p{i}": rng.choice(sites) for i in range(process_count)}
     names = sorted(processes)
 
-    ring_count = rng.choice([1, 2, 2, 3])
     rings: Dict[int, List[List[str]]] = {}
-    for ring_id in range(ring_count):
-        core = rng.sample(names, k=min(len(names), rng.randint(3, 4)))
-        members = [[name, "pal"] for name in core]
-        for name in names:
-            if name not in core and rng.random() < 0.3:
-                members.append([name, "l"])  # learner-only subscriber
-        rings[ring_id] = members
+    if disjoint:
+        pool = names[:]
+        rng.shuffle(pool)
+        share = len(pool) // ring_count
+        for ring_id in range(ring_count):
+            start = ring_id * share
+            stop = start + share if ring_id < ring_count - 1 else len(pool)
+            rings[ring_id] = [[name, "pal"] for name in sorted(pool[start:stop])]
+    else:
+        for ring_id in range(ring_count):
+            core = rng.sample(names, k=min(len(names), rng.randint(3, 4)))
+            members = [[name, "pal"] for name in core]
+            for name in names:
+                if name not in core and rng.random() < 0.3:
+                    members.append([name, "l"])  # learner-only subscriber
+            rings[ring_id] = members
 
     horizon = rng.uniform(1.2, 2.2)
     message_count = rng.randint(20, 60)
@@ -281,24 +305,54 @@ def _generate_faults(
 # Runner
 # --------------------------------------------------------------------------
 
-def run_scenario(seed: int, artifacts_dir: Optional[str] = None) -> ScenarioResult:
+def run_scenario(
+    seed: int,
+    artifacts_dir: Optional[str] = None,
+    workers: int = 1,
+) -> ScenarioResult:
     """Generate and execute the scenario of ``seed``; check every invariant.
 
     On violation a JSON repro artifact (seed, spec, fault timeline, trace
     tails) is written to ``artifacts_dir`` (default: ``./chaos-artifacts``,
     overridable through the ``CHAOS_ARTIFACT_DIR`` environment variable).
+
+    ``workers > 1`` opts eligible scenarios into sharded execution: an
+    atomic-multicast scenario whose rings form at least two process-disjoint
+    components — zero cross-ring traffic — splits into per-component
+    sub-scenarios executed in worker processes (see
+    :func:`shardable_components`).  The verdict is identical either way; the
+    oracle simply runs per shard, and cross-shard acyclicity is trivial
+    because the shards share no messages and no learners.  Ineligible
+    scenarios fall back to single-process execution
+    (``stats["sharded"] = False``).
     """
     spec = generate_spec(seed)
     family = spec["family"]
+    if workers > 1:
+        components = shardable_components(spec)
+        if components is not None:
+            violations, stats, tails, _ = _run_amcast_sharded(spec, components, workers)
+            result = ScenarioResult(
+                seed=seed, family=family, violations=violations, stats=stats
+            )
+            if violations:
+                result.artifact_path = _dump_artifact(spec, result, tails, artifacts_dir)
+            return result
+        stats_note = {"sharded": False}
+    else:
+        stats_note = {}
     if family == "amcast":
         violations, stats, recorder = _run_amcast(spec)
     elif family == "kvstore":
         violations, stats, recorder = _run_kvstore(spec)
     else:
         violations, stats, recorder = _run_dlog(spec)
+    stats.update(stats_note)
     result = ScenarioResult(seed=seed, family=family, violations=violations, stats=stats)
     if violations:
-        result.artifact_path = _dump_artifact(spec, result, recorder, artifacts_dir)
+        result.artifact_path = _dump_artifact(
+            spec, result, _trace_tails(recorder), artifacts_dir
+        )
     return result
 
 
@@ -343,7 +397,16 @@ def _run_epilogue(system, schedule: FaultSchedule, active_end: float) -> Tuple[f
     return heal_end, heal_end + QUIESCE_FINAL
 
 
-def _run_amcast(spec: Dict[str, Any]) -> Tuple[List[Violation], Dict[str, Any], TraceRecorder]:
+def _run_amcast(
+    spec: Dict[str, Any],
+    active_end: Optional[float] = None,
+) -> Tuple[List[Violation], Dict[str, Any], TraceRecorder]:
+    """Execute one amcast (sub-)spec start to finish.
+
+    ``active_end`` overrides the end of the active phase; sharded execution
+    passes the *full* scenario's phase boundary into every sub-spec so all
+    shards run the same simulated timeline.
+    """
     rng = random.Random(spec["seed"] ^ 0x70B0)
     topology = _build_topology(spec["sites"], rng)
     config = _chaos_config(spec)
@@ -379,7 +442,8 @@ def _run_amcast(spec: Dict[str, Any]) -> Tuple[List[Violation], Dict[str, Any], 
         sim.call_later(entry["at"], send, entry)
 
     system.start()
-    active_end = max(spec["horizon"], schedule.end_time) + SETTLE
+    if active_end is None:
+        active_end = max(spec["horizon"], schedule.end_time) + SETTLE
     heal_end, final_end = _run_epilogue(system, schedule, active_end)
 
     # Retry what was genuinely lost (a real client's timeout + resubmit).
@@ -401,6 +465,163 @@ def _run_amcast(spec: Dict[str, Any]) -> Tuple[List[Violation], Dict[str, Any], 
         "dropped_messages": system.network.stats.dropped,
     }
     return violations, stats, recorder
+
+
+# --------------------------------------------------------------------------
+# Sharded execution (zero cross-ring traffic scenarios)
+# --------------------------------------------------------------------------
+
+def shardable_components(spec: Dict[str, Any]) -> Optional[List[List[int]]]:
+    """Ring components of a scenario eligible for sharded execution.
+
+    A scenario can shard when its rings split into at least two
+    process-disjoint components (no process proposes to or learns from rings
+    of two components — zero cross-ring traffic) and its fault schedule
+    contains no site-level faults: partitions and isolations act on sites,
+    which may host processes of several components, and the resulting
+    channel-state coupling is exactly what sharding assumes away.  Crash,
+    restart, disk-spike and ring-reconfiguration faults route cleanly to the
+    shard owning their victim.
+
+    Returns the components (sorted ring-id lists) or ``None``.
+    """
+    if spec.get("family") != "amcast":
+        return None
+    site_actions = {"partition", "heal", "isolate", "rejoin"}
+    for event in spec.get("schedule", []):
+        if event.get("action") in site_actions:
+            return None
+    components = ring_components(
+        {int(rid): [m[0] for m in members] for rid, members in spec["rings"].items()}
+    )
+    if len(components) < 2:
+        return None
+    return components
+
+
+def _split_amcast_spec(
+    spec: Dict[str, Any], component: List[int], active_end: float
+) -> Dict[str, Any]:
+    """The sub-spec of one ring component (same seed, sites and timeline)."""
+    rings = {rid: spec["rings"][_ring_key(spec, rid)] for rid in component}
+    members = {m[0] for ring in rings.values() for m in ring}
+    schedule = []
+    for event in spec["schedule"]:
+        action = event.get("action")
+        if action in ("crash", "restart"):
+            if event.get("process") in members:
+                schedule.append(event)
+        elif action in ("remove_from_ring", "add_to_ring"):
+            if int(event.get("ring_id", -1)) in component:
+                schedule.append(event)
+        else:  # disk spikes and anything site-free applies everywhere
+            schedule.append(event)
+    sub = dict(spec)
+    sub["rings"] = rings
+    sub["processes"] = {
+        name: site for name, site in spec["processes"].items() if name in members
+    }
+    sub["messages"] = [m for m in spec["messages"] if m["group"] in component]
+    sub["schedule"] = schedule
+    sub["active_end"] = active_end
+    return sub
+
+
+def _ring_key(spec: Dict[str, Any], ring_id: int):
+    """Ring keys survive a JSON round trip as strings; accept both."""
+    return ring_id if ring_id in spec["rings"] else str(ring_id)
+
+
+class _AmcastShard(ShardHarness):
+    """One chaos sub-scenario executed inside a worker process.
+
+    Chaos shards exchange no messages, so the whole phased scenario script
+    (active phase, healing epilogue, retries, oracle) runs in the single
+    window the engine hands over; the environment passed to the engine is a
+    placeholder that never executes an event.
+    """
+
+    def __init__(self, subspec: Dict[str, Any]) -> None:
+        super().__init__(Environment())
+        self._subspec = subspec
+        self._outcome: Optional[Tuple[List[Violation], Dict[str, Any], TraceRecorder]] = None
+
+    def run_window(self, end: Optional[float]) -> None:
+        self._outcome = _run_amcast(self._subspec, active_end=self._subspec["active_end"])
+
+    def finalize(self) -> Dict[str, Any]:
+        violations, stats, recorder = self._outcome
+        return {
+            "violations": [(v.prop, v.detail) for v in violations],
+            "stats": stats,
+            "tails": _trace_tails(recorder),
+            "digests": {
+                name: [
+                    (record.group, record.instance, record.payload)
+                    for record in trace.records
+                ]
+                for name, trace in recorder.traces.items()
+            },
+        }
+
+
+def _build_amcast_shard(subspec: Dict[str, Any]) -> _AmcastShard:
+    return _AmcastShard(subspec)
+
+
+def _run_amcast_sharded(
+    spec: Dict[str, Any],
+    components: List[List[int]],
+    workers: int,
+) -> Tuple[List[Violation], Dict[str, Any], Dict[str, Any], Dict[str, Any]]:
+    """Run one sub-scenario per ring component under the parallel engine.
+
+    Returns merged ``(violations, stats, trace_tails, delivery_digests)``;
+    the digests (full per-learner delivery sequences) are what the
+    determinism tests compare across worker counts.
+    """
+    schedule = FaultSchedule.from_dicts(spec["schedule"])
+    active_end = max(spec["horizon"], schedule.end_time) + SETTLE
+    specs = [
+        ShardSpec(
+            shard_id=index,
+            build=_build_amcast_shard,
+            payload=_split_amcast_spec(spec, component, active_end),
+        )
+        for index, component in enumerate(components)
+    ]
+    run = run_sharded(specs, workers=workers)
+
+    violations: List[Violation] = []
+    tails: Dict[str, Any] = {}
+    digests: Dict[str, Any] = {}
+    stats: Dict[str, Any] = {
+        "sent": 0,
+        "retries": 0,
+        "deliveries": {},
+        "faults": 0,
+        "dropped_messages": 0,
+    }
+    for shard_id in sorted(run.results):
+        shard = run.results[shard_id]
+        violations.extend(Violation(prop, detail) for prop, detail in shard["violations"])
+        tails.update(shard["tails"])
+        digests.update(shard["digests"])
+        shard_stats = shard["stats"]
+        for key in ("sent", "retries", "dropped_messages"):
+            stats[key] += shard_stats[key]
+        stats["deliveries"].update(shard_stats["deliveries"])
+    # Broadcast faults (disk spikes) execute in every shard's sub-schedule;
+    # summing the per-shard counts would multiply them by the shard count.
+    # The scenario's fault count is the full schedule's, exactly as in the
+    # single-process run (the epilogue always runs past the last event).
+    stats["faults"] = len(spec["schedule"])
+    stats["sharded"] = {
+        "workers": run.workers,
+        "shards": [list(component) for component in components],
+        "wall_clock_s": round(run.wall_clock, 4),
+    }
+    return violations, stats, tails, digests
 
 
 class _RywClient(Actor):
@@ -582,10 +803,27 @@ def _run_dlog(spec: Dict[str, Any]) -> Tuple[List[Violation], Dict[str, Any], Tr
 # Repro artifacts
 # --------------------------------------------------------------------------
 
+def _trace_tails(recorder: TraceRecorder) -> Dict[str, Any]:
+    """The last deliveries of every traced learner, as plain dicts."""
+    return {
+        name: [
+            {
+                "time": record.time,
+                "incarnation": record.incarnation,
+                "group": record.group,
+                "instance": record.instance,
+                "payload": repr(record.payload),
+            }
+            for record in trace.tail(50)
+        ]
+        for name, trace in recorder.traces.items()
+    }
+
+
 def _dump_artifact(
     spec: Dict[str, Any],
     result: ScenarioResult,
-    recorder: TraceRecorder,
+    trace_tails: Dict[str, Any],
     artifacts_dir: Optional[str],
 ) -> Optional[str]:
     directory = artifacts_dir or os.environ.get("CHAOS_ARTIFACT_DIR", "chaos-artifacts")
@@ -599,19 +837,7 @@ def _dump_artifact(
             "violations": [{"prop": v.prop, "detail": v.detail} for v in result.violations],
             "stats": result.stats,
             "spec": spec,
-            "trace_tails": {
-                name: [
-                    {
-                        "time": record.time,
-                        "incarnation": record.incarnation,
-                        "group": record.group,
-                        "instance": record.instance,
-                        "payload": repr(record.payload),
-                    }
-                    for record in trace.tail(50)
-                ]
-                for name, trace in recorder.traces.items()
-            },
+            "trace_tails": trace_tails,
         }
         with open(path, "w") as handle:
             json.dump(payload, handle, indent=2, default=repr)
@@ -624,23 +850,57 @@ def _dump_artifact(
 # CLI
 # --------------------------------------------------------------------------
 
+_CLI_EPILOG = """\
+examples:
+  python -m repro.chaos --seed 7              replay the scenario of seed 7
+  python -m repro.chaos --seed 0 --count 200  sweep seeds 0..199 (the CI matrix)
+  python -m repro.chaos --seed 7 --workers 2  shard eligible scenarios over 2 cores
+
+Every scenario is a pure function of its seed: the topology, deployment
+family (atomic multicast / MRP-Store / dLog), workload and fault timeline
+all derive from it, so a failure seen anywhere replays exactly from the
+seed alone.  On a violation the runner prints the violated property and
+writes chaos-artifacts/chaos-seed<SEED>.json (spec, fault timeline,
+violations, per-learner trace tails) with the replay command inside.
+
+--workers N opts eligible scenarios into sharded execution: an
+atomic-multicast scenario whose rings form two or more process-disjoint
+components (zero cross-ring traffic) runs one component per shard; the
+invariant verdict is identical to the single-process run.  Scenarios with
+site-level faults or entangled rings fall back to one process.
+
+Environment: CHAOS_ARTIFACT_DIR overrides the artifact directory.
+Run with PYTHONPATH=src from the repository root."""
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Run one or more scenarios from the command line.
 
     ``python -m repro.chaos --seed 7`` replays seed 7;
-    ``--count N`` sweeps seeds ``seed .. seed+N-1``.
+    ``--count N`` sweeps seeds ``seed .. seed+N-1``;
+    ``--workers N`` shards eligible scenarios over ``N`` processes.
     """
     import argparse
 
-    parser = argparse.ArgumentParser(description="Run seeded chaos scenarios.")
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Run seeded chaos scenarios against the Multi-Ring Paxos "
+        "reproduction and check the paper's atomic-multicast invariants.",
+        epilog=_CLI_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     parser.add_argument("--seed", type=int, default=0, help="first scenario seed")
     parser.add_argument("--count", type=int, default=1, help="number of consecutive seeds")
     parser.add_argument("--artifacts", default=None, help="repro artifact directory")
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for scenarios eligible for sharded execution",
+    )
     args = parser.parse_args(argv)
 
     failures = 0
     for seed in range(args.seed, args.seed + args.count):
-        result = run_scenario(seed, artifacts_dir=args.artifacts)
+        result = run_scenario(seed, artifacts_dir=args.artifacts, workers=args.workers)
         status = "PASS" if result.ok else "FAIL"
         print(f"{status} seed={seed} family={result.family} stats={result.stats}")
         if not result.ok:

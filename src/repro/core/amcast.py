@@ -75,10 +75,18 @@ class AtomicMulticast:
         topology: Optional[Topology] = None,
         config: Optional[MultiRingConfig] = None,
         seed: int = 0,
+        jitter_fraction: float = 0.05,
     ) -> None:
+        """Build an empty deployment.
+
+        ``jitter_fraction`` is forwarded to the :class:`Network`; sharded
+        differential tests set it to ``0`` because jitter draws come from one
+        shared stream whose order a merged run and a sharded run interleave
+        differently.
+        """
         self.env = Environment(seed=seed)
         self.topology = topology or single_datacenter()
-        self.network = Network(self.env, self.topology)
+        self.network = Network(self.env, self.topology, jitter_fraction=jitter_fraction)
         self.coordination = CoordinationService()
         self.config = config or MultiRingConfig()
         self._ring_configs: Dict[int, MultiRingConfig] = {}

@@ -34,7 +34,35 @@ CLIENT_BATCH_BYTES = 32 * 1024
 
 @dataclass
 class MultiRingConfig:
-    """All tunables of one Multi-Ring Paxos deployment."""
+    """All tunables of one Multi-Ring Paxos deployment.
+
+    The paper's symbols map onto fields as follows:
+
+    ========  ======================  =========================================
+    paper     field                   meaning
+    ========  ======================  =========================================
+    ``M``     ``messages_per_round``  consensus instances the deterministic
+                                      merge consumes from one ring before
+                                      moving to the next (Section 4)
+    ``Δ``     ``rate_interval``       rate-leveling interval in seconds; every
+                                      Δ an under-loaded ring's coordinator
+                                      proposes skips (``None`` disables)
+    ``λ``     ``max_rate``            rate-leveling maximum expected rate,
+                                      messages per second
+    ========  ======================  =========================================
+
+    Presets: :func:`local_config` (intra-datacenter: M=1, Δ=5 ms, λ=9000) and
+    :func:`global_config` (cross-datacenter: M=1, Δ=20 ms, λ=2000), both from
+    Section 8.2.  Use :meth:`with_` to derive variants::
+
+        config = local_config().with_(batching_enabled=True)
+
+    The remaining fields control acceptor storage (Figure 3's five modes),
+    coordinator batching (Sections 7.2/7.3), the recovery machinery
+    (checkpoint/trim periods, Section 5) and the fault-repair timers added by
+    the chaos substrate (``gap_repair_interval``, default off so failure-free
+    benchmarks match the paper).
+    """
 
     #: Deterministic-merge parameter M: instances per ring per round.
     messages_per_round: int = 1

@@ -4,6 +4,7 @@ from .group import GroupSubscriptions, MulticastGroup
 from .merge import DeterministicMerger
 from .process import MultiRingProcess
 from .ratelevel import GLOBAL_RATE_LEVELER, LOCAL_RATE_LEVELER, RateLeveler
+from .sharding import ShardPlan, conservative_lookahead, plan_shards, ring_components
 
 __all__ = [
     "GroupSubscriptions",
@@ -13,4 +14,8 @@ __all__ = [
     "GLOBAL_RATE_LEVELER",
     "LOCAL_RATE_LEVELER",
     "RateLeveler",
+    "ShardPlan",
+    "conservative_lookahead",
+    "plan_shards",
+    "ring_components",
 ]

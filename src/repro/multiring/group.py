@@ -89,3 +89,39 @@ class GroupSubscriptions:
     def processes(self) -> List[str]:
         """Every process with at least one subscription."""
         return sorted(self._subscriptions)
+
+    def co_subscription_components(self) -> List[List[int]]:
+        """Groups partitioned by transitive co-subscription.
+
+        Two groups belong to the same component when some learner subscribes
+        to both (directly or through a chain of learners).  A component is
+        the unit of sharded execution: its groups share deterministic-merge
+        state at some learner, so they must run in the same shard (see
+        :mod:`repro.multiring.sharding`).  Components are returned as sorted
+        group-id lists, ordered by smallest group id.
+        """
+        group_sets = [groups for groups in self._subscriptions.values() if groups]
+        parent: Dict[int, int] = {}
+        for groups in group_sets:
+            for group in groups:
+                parent.setdefault(group, group)
+
+        def find(group: int) -> int:
+            root = group
+            while parent[root] != root:
+                root = parent[root]
+            while parent[group] != root:
+                parent[group], group = root, parent[group]
+            return root
+
+        for groups in group_sets:
+            ordered = sorted(groups)
+            first = ordered[0]
+            for other in ordered[1:]:
+                a, b = find(first), find(other)
+                if a != b:
+                    parent[max(a, b)] = min(a, b)
+        components: Dict[int, List[int]] = {}
+        for group in sorted(parent):
+            components.setdefault(find(group), []).append(group)
+        return [components[root] for root in sorted(components)]

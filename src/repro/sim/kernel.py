@@ -384,6 +384,49 @@ class Simulator:
         """Stop the run loop after the current event finishes."""
         self._stopped = True
 
+    # ----------------------------------------------------------- time windows
+    def next_event_time(self) -> Optional[float]:
+        """Firing time of the earliest live pending event (``None`` if drained).
+
+        Cancelled entries found at the heap top are popped eagerly, so the
+        answer is exact.  Used by window-based execution to decide whether a
+        shard has any work left inside the current window.
+        """
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            head = entry[3]
+            if head.__class__ is Event and head.cancelled:
+                heappop(queue)
+                if self._cancelled:
+                    self._cancelled -= 1
+                continue
+            return entry[0]
+        return None
+
+    def run_window(self, end: float) -> int:
+        """Execute every event with ``time <= end`` and land the clock on ``end``.
+
+        The building block of conservative parallel execution (see
+        :mod:`repro.sim.parallel`): a shard repeatedly runs one lookahead
+        window, then exchanges cross-shard messages at the barrier.  Unlike a
+        bare ``run(until=end)`` call, ``run_window`` enforces that windows are
+        monotonic (``end`` must not be in the past) and guarantees the clock
+        is exactly ``end`` afterwards, so every shard arrives at the barrier
+        with an identical notion of time.
+
+        Returns the number of events executed inside the window.
+        """
+        if end < self._now:
+            raise SimulationError(
+                f"window end {end} is before the current time {self._now}"
+            )
+        before = self._processed
+        self.run(until=end)
+        if not self._stopped:
+            self._now = end
+        return self._processed - before
+
     # ----------------------------------------------------------- compaction
     def _note_cancelled(self) -> None:
         """Record a cancellation; compact the heap when mostly dead.

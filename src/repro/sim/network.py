@@ -15,6 +15,15 @@ Fault injection: links can be cut (``partition``) and healed, and whole sites
 can be isolated, supporting the recovery experiment (Figure 8) and the
 failure-injection tests.
 
+Sharded execution: a network can act as a *gateway* for actors that live in
+another shard of a parallel run (see :mod:`repro.sim.parallel`).  Remote
+actors are declared with :meth:`Network.set_remote_routes`; sends addressed to
+them go through the exact same latency/occupancy arithmetic as local sends but
+land in a drainable outbox instead of the local event heap.  The parallel
+engine drains outboxes at window barriers and injects them into the owning
+shard with :meth:`Network.inject_remote`, preserving the computed delivery
+timestamps.
+
 Performance notes
 -----------------
 ``send`` sits on the per-hop inner loop of every ring, so it avoids repeated
@@ -37,12 +46,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from heapq import heappush
-from typing import Any, Dict, Optional, Set, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from .actor import Environment
+from .kernel import SimulationError
 from .topology import Topology
 
-__all__ = ["Network", "MessageStats", "message_size"]
+__all__ = ["Network", "MessageStats", "RemoteMessage", "message_size"]
+
+#: One cross-shard message as it travels through a gateway outbox:
+#: ``(delivery_time, src_actor, dst_actor, message)``.  The delivery time is
+#: computed on the sending side with the full latency/occupancy model, so the
+#: receiving shard only has to schedule the hand-off at that exact timestamp.
+RemoteMessage = Tuple[float, str, str, Any]
 
 
 def message_size(message: Any, default: int = 128) -> int:
@@ -140,6 +156,12 @@ class Network:
         self._isolated_sites: Set[str] = set()
         #: fast-path guard: True while any partition/isolation is active
         self._has_faults = False
+        #: sharded execution (inert unless set_remote_routes is called):
+        #: actors living in other shards, their resolved connections, and the
+        #: outbox drained by the parallel engine at window barriers
+        self._remote_sites: Dict[str, str] = {}
+        self._remote_connections: Dict[Tuple[str, str], _Connection] = {}
+        self._outbox: List[RemoteMessage] = []
         self._precompute_channels()
         env.network = self
         env.topology = topology
@@ -172,6 +194,15 @@ class Network:
         if conn is None:
             conn = self._resolve(src, dst)
             if conn is None:
+                # Not a local actor.  In a sharded run the destination may
+                # live in another shard: route through the gateway outbox.
+                if self._remote_sites:
+                    rconn = self._remote_connections.get((src, dst))
+                    if rconn is None and dst in self._remote_sites:
+                        rconn = self._resolve_remote(src, dst)
+                    if rconn is not None:
+                        self._send_remote(rconn, src, dst, message)
+                        return
                 self.stats.record_drop()
                 return
         if self._has_faults and self._blocked(conn.src_site, conn.dst_site):
@@ -249,6 +280,106 @@ class Network:
             return
         # Equivalent to actor.deliver(src, message) minus its (already
         # performed) aliveness check — one call layer less per delivery.
+        actor.on_message(src, message)
+
+    # ------------------------------------------------------- sharded gateway
+    def set_remote_routes(self, actor_sites: Mapping[str, str]) -> None:
+        """Declare actors living in other shards of a parallel run.
+
+        ``actor_sites`` maps each remote actor name to the site hosting it.
+        Sends addressed to those actors are queued in the gateway outbox with
+        their computed delivery time instead of being counted as drops.  The
+        mapping is additive; declaring no routes keeps the gateway inert (and
+        the send hot path unchanged).
+        """
+        for name, site in actor_sites.items():
+            self._remote_sites[name] = site
+
+    @property
+    def remote_routes(self) -> Dict[str, str]:
+        """Currently declared remote actors (copy)."""
+        return dict(self._remote_sites)
+
+    def drain_outbox(self) -> List[RemoteMessage]:
+        """Take every queued cross-shard message (in send order)."""
+        out = self._outbox
+        self._outbox = []
+        return out
+
+    def inject_remote(self, records: Sequence[RemoteMessage]) -> None:
+        """Schedule cross-shard messages handed over at a window barrier.
+
+        Every record's delivery time must be at or after the current clock —
+        the conservative lookahead guarantees this; a violation means the
+        window length exceeded the minimum cross-shard latency and is raised
+        loudly rather than silently reordering history.
+        """
+        sim = self._simulator
+        now = sim._now
+        for delivery_at, src, dst, message in records:
+            delay = delivery_at - now
+            if delay < 0:
+                raise SimulationError(
+                    f"lookahead violation: message {src}->{dst} was due at "
+                    f"t={delivery_at:.9f} but the barrier ran at t={now:.9f}"
+                )
+            sim._post(delay, self._deliver_remote, (src, dst, message))
+
+    def _resolve_remote(self, src: str, dst: str) -> Optional[_Connection]:
+        """Build (and cache) the gateway connection for a remote destination."""
+        dst_site = self._remote_sites.get(dst)
+        if dst_site is None:
+            return None
+        src_site = self.env.actor(src).site
+        channel = self._channels.get((src_site, dst_site))
+        if channel is None:
+            channel = _Channel(
+                self.topology.latency(src_site, dst_site),
+                self.topology.bandwidth(src_site, dst_site),
+            )
+            self._channels[(src_site, dst_site)] = channel
+        conn = _Connection(None, src_site, dst_site, channel)
+        self._remote_connections[(src, dst)] = conn
+        return conn
+
+    def _send_remote(self, conn: _Connection, src: str, dst: str, message: Any) -> None:
+        """Queue a message for another shard using the local timing model.
+
+        Term-for-term the same arithmetic as the local send path (propagation,
+        transmission, jitter, FIFO channel occupancy, per-pair ordering), so a
+        sharded run computes the same delivery timestamps the merged
+        single-simulator run would.
+        """
+        if self._has_faults and self._blocked(conn.src_site, conn.dst_site):
+            self.stats.record_drop()
+            return
+        size = getattr(message, "size_bytes", 128) + self.HEADER_BYTES
+        channel = conn.channel
+        now = self._simulator._now
+        propagation = channel.latency
+        transmission = (size * 8.0) / channel.bandwidth
+        jitter = 0.0
+        if self._jitter > 0:
+            jitter = propagation * self._jitter * self._rng_random()
+        free_at = channel.free_at
+        start = free_at if free_at > now else now
+        finish = start + transmission
+        channel.free_at = finish
+        delay = (finish - now) + propagation + jitter
+        delivery_at = now + delay
+        if delivery_at < conn.last_delivery_at:
+            delivery_at = conn.last_delivery_at
+        conn.last_delivery_at = delivery_at
+        stats = self.stats
+        stats.messages += 1
+        stats.bytes += size
+        self._outbox.append((delivery_at, src, dst, message))
+
+    def _deliver_remote(self, src: str, dst: str, message: Any) -> None:
+        actor = self.env.get_actor(dst)
+        if actor is None or not actor.alive:
+            self.stats.record_drop()
+            return
         actor.on_message(src, message)
 
     # ----------------------------------------------------------------- model

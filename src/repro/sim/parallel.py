@@ -1,0 +1,525 @@
+"""Deterministic parallel execution of sharded simulations.
+
+The single-process kernel caps every experiment at one core.  This module
+adds the classic conservative parallel-discrete-event recipe on top of it:
+a deployment whose rings are *independent* (no process participates in rings
+of two different shards) is partitioned into **shards**, each shard runs its
+own fast-path :class:`~repro.sim.kernel.Simulator` in a ``multiprocessing``
+worker, and shards synchronise at **time-window barriers**.
+
+Correctness argument
+--------------------
+* The window length is the **lookahead**: the minimum cross-shard link
+  latency.  A message sent during window ``[t, t+L)`` can only be delivered
+  at ``>= t+L`` (propagation alone exceeds the window), so exchanging
+  outboxes at the barrier and injecting them before the next window starts
+  never delivers a message late.  :meth:`Network.inject_remote` raises on a
+  violation instead of reordering history.
+* Within a shard, event order is exactly the single-process order: the same
+  kernel, the same named RNG streams (streams are derived per name from the
+  experiment seed, so a shard draws the same sequences it would draw in a
+  merged run), the same channel-occupancy state (channels are per directed
+  site pair and shards do not share sites).
+* Cross-shard messages are routed in a canonical order (ascending source
+  shard id, send order within a shard), so injection — and therefore the tie
+  break among simultaneous events — does not depend on the worker count.
+
+Consequently ``run_sharded(specs, workers=k)`` produces bit-identical
+per-shard results for every ``k``; ``workers=1`` executes the same windowed
+schedule sequentially in-process and is the reference "single-process
+engine" the differential tests compare against.  For deployments with **no**
+cross-shard traffic the result is additionally bit-identical to running the
+merged deployment on one shared simulator (see
+``tests/bench/test_parallel_differential.py``), provided network jitter is
+disabled — jitter draws come from one shared stream in a merged run and
+would otherwise interleave across shards.
+
+Usage sketch::
+
+    def build(payload):                      # top-level → picklable
+        system = ...                         # construct one shard
+        return ShardHarness(system.env)
+
+    specs = [ShardSpec(i, build, payload_i) for i in range(4)]
+    result = run_sharded(specs, workers=4)   # no cross traffic: one window
+    result = run_sharded(specs, until=10.0, workers=4, lookahead=0.005)
+
+Builders run *inside* the worker process; payloads must be picklable, the
+simulated objects never cross process boundaries (only outbox messages and
+the ``finalize()`` summaries do).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .actor import Environment
+from .kernel import SimulationError
+from .network import RemoteMessage
+
+__all__ = [
+    "ShardHarness",
+    "ShardSpec",
+    "ParallelRunResult",
+    "run_sharded",
+]
+
+
+class ShardHarness:
+    """One shard's deployment, as driven by the parallel engine.
+
+    The default implementation wraps an :class:`~repro.sim.actor.Environment`
+    and simply runs its kernel window by window.  Subclasses override
+    :meth:`run_window` when a shard embeds its own measurement or scenario
+    script (warm-up/measure phases, chaos epilogues) and :meth:`finalize` to
+    return a picklable per-shard result to the parent process.
+    """
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+
+    # ------------------------------------------------------------- inventory
+    def actor_sites(self) -> Dict[str, str]:
+        """Map of this shard's actor names to their sites (for routing)."""
+        return {actor.name: actor.site for actor in self.env.actors()}
+
+    def set_remote_routes(self, routes: Dict[str, str]) -> None:
+        """Teach this shard's network where other shards' actors live."""
+        if routes and self.env.network is not None:
+            self.env.network.set_remote_routes(routes)
+
+    def start(self) -> None:
+        """Start the shard's deployment (override; called exactly once).
+
+        Runs after every shard is built and cross-shard routes are installed,
+        but before the first window — the right place for
+        ``AtomicMulticast.start()`` / actor ``on_start`` hooks, whose very
+        first sends may already cross shards.
+        """
+
+    # -------------------------------------------------------------- stepping
+    def run_window(self, end: Optional[float]) -> None:
+        """Advance the shard to ``end`` (``None``: run the queue dry).
+
+        Called once per window; with no lookahead configured it is called
+        exactly once, and a subclass may run an arbitrary multi-phase script
+        here (``end`` is then the overall horizon, possibly ``None``).
+        """
+        if end is None:
+            self.env.run()
+        else:
+            self.env.simulator.run_window(end)
+
+    def drain_outbox(self) -> List[RemoteMessage]:
+        """Cross-shard messages sent during the last window (send order)."""
+        network = self.env.network
+        return network.drain_outbox() if network is not None else []
+
+    def inject(self, records: Sequence[RemoteMessage]) -> None:
+        """Deliver messages handed over at the barrier into this shard."""
+        if records:
+            self.env.network.inject_remote(records)
+
+    # --------------------------------------------------------------- results
+    def finalize(self) -> Any:
+        """Picklable per-shard result returned to the parent (override)."""
+        return None
+
+    @property
+    def processed_events(self) -> int:
+        """Events this shard's kernel has executed so far."""
+        return self.env.simulator.processed_events
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Recipe for one shard: a top-level builder plus its picklable payload.
+
+    ``build(payload)`` runs inside the worker process and returns the shard's
+    :class:`ShardHarness`.  The builder must be a module-level callable so the
+    spec can cross the ``multiprocessing`` boundary.
+    """
+
+    shard_id: int
+    build: Callable[[Any], ShardHarness]
+    payload: Any = None
+
+
+@dataclass
+class ParallelRunResult:
+    """Outcome of one :func:`run_sharded` call."""
+
+    #: per-shard ``finalize()`` results, keyed by shard id
+    results: Dict[int, Any]
+    #: wall-clock seconds of the whole run (build + windows + finalize)
+    wall_clock: float
+    #: number of barrier windows executed
+    windows: int
+    #: cross-shard messages exchanged at barriers
+    cross_messages: int
+    #: per-shard kernel event counts
+    events: Dict[int, int] = field(default_factory=dict)
+    #: worker processes actually used (1 = in-process reference engine)
+    workers: int = 1
+
+    @property
+    def total_events(self) -> int:
+        """Events executed across every shard."""
+        return sum(self.events.values())
+
+
+# ---------------------------------------------------------------------------
+# Worker-side execution (shared by the in-process and subprocess paths)
+# ---------------------------------------------------------------------------
+
+class _ShardSet:
+    """Builds and steps a set of shards, in ascending shard-id order."""
+
+    def __init__(self, specs: Sequence[ShardSpec]) -> None:
+        self.harnesses: Dict[int, ShardHarness] = {}
+        for spec in sorted(specs, key=lambda s: s.shard_id):
+            self.harnesses[spec.shard_id] = spec.build(spec.payload)
+
+    def actor_sites(self) -> Dict[int, Dict[str, str]]:
+        return {sid: h.actor_sites() for sid, h in self.harnesses.items()}
+
+    def set_routes(self, routes_by_shard: Dict[int, Dict[str, str]]) -> None:
+        for sid, routes in routes_by_shard.items():
+            self.harnesses[sid].set_remote_routes(routes)
+
+    def start(self) -> Dict[int, List[RemoteMessage]]:
+        """Start every shard; returns cross-shard messages sent at t=0."""
+        outbound: Dict[int, List[RemoteMessage]] = {}
+        for sid in sorted(self.harnesses):
+            harness = self.harnesses[sid]
+            harness.start()
+            out = harness.drain_outbox()
+            if out:
+                outbound[sid] = out
+        return outbound
+
+    def run_window(
+        self,
+        end: Optional[float],
+        inbound: Dict[int, List[RemoteMessage]],
+    ) -> Tuple[Dict[int, List[RemoteMessage]], Dict[int, int]]:
+        outbound: Dict[int, List[RemoteMessage]] = {}
+        events: Dict[int, int] = {}
+        for sid in sorted(self.harnesses):
+            harness = self.harnesses[sid]
+            harness.inject(inbound.get(sid, ()))
+            harness.run_window(end)
+            out = harness.drain_outbox()
+            if out:
+                outbound[sid] = out
+            events[sid] = harness.processed_events
+        return outbound, events
+
+    def finalize(self) -> Dict[int, Any]:
+        return {sid: h.finalize() for sid, h in self.harnesses.items()}
+
+
+def _worker_main(conn, specs: Sequence[ShardSpec]) -> None:
+    """Entry point of one worker process: build shards, serve barrier rounds."""
+    try:
+        shard_set = _ShardSet(specs)
+        conn.send(("ready", shard_set.actor_sites()))
+        while True:
+            command = conn.recv()
+            op = command[0]
+            if op == "routes":
+                shard_set.set_routes(command[1])
+                conn.send(("ok",))
+            elif op == "start":
+                conn.send(("out", shard_set.start(), {}))
+            elif op == "window":
+                outbound, events = shard_set.run_window(command[1], command[2])
+                conn.send(("out", outbound, events))
+            elif op == "finish":
+                conn.send(("result", shard_set.finalize()))
+                return
+            else:  # pragma: no cover - protocol bug
+                raise RuntimeError(f"unknown command {op!r}")
+    except Exception as exc:  # surface worker crashes with their traceback
+        import traceback
+
+        try:
+            conn.send(("error", f"{exc}\n{traceback.format_exc()}"))
+        except Exception:  # pragma: no cover - parent already gone
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Parent-side orchestration
+# ---------------------------------------------------------------------------
+
+def _build_routing(
+    sites_by_shard: Dict[int, Dict[str, str]],
+    require_unique: bool,
+) -> Tuple[Dict[str, int], Dict[int, Dict[str, str]]]:
+    """Global actor→shard map plus, per shard, the remote actor→site routes.
+
+    Actor names appearing in several shards are unroutable; that is fine for
+    embarrassingly parallel runs (no cross traffic) but an error as soon as a
+    lookahead — and therefore routing — is requested.
+    """
+    owner: Dict[str, int] = {}
+    ambiguous = set()
+    for sid in sorted(sites_by_shard):
+        for name in sites_by_shard[sid]:
+            if name in owner:
+                ambiguous.add(name)
+            else:
+                owner[name] = sid
+    if ambiguous and require_unique:
+        raise SimulationError(
+            "cross-shard routing needs globally unique actor names; duplicated: "
+            f"{sorted(ambiguous)[:5]}"
+        )
+    for name in ambiguous:
+        owner.pop(name, None)
+    routes_by_shard: Dict[int, Dict[str, str]] = {}
+    for sid in sorted(sites_by_shard):
+        routes_by_shard[sid] = {
+            name: sites_by_shard[other][name]
+            for name, other in owner.items()
+            if other != sid
+        }
+    return owner, routes_by_shard
+
+
+def _route_outbound(
+    outbound_by_shard: Dict[int, List[RemoteMessage]],
+    owner: Dict[str, int],
+) -> Tuple[Dict[int, List[RemoteMessage]], int]:
+    """Turn per-source outboxes into per-destination inboxes, canonically.
+
+    Messages are processed in ascending source-shard order, preserving each
+    shard's send order — the same total order regardless of how shards were
+    spread over workers, which keeps injection (and simultaneous-event tie
+    breaks) independent of the worker count.
+    """
+    inbound: Dict[int, List[RemoteMessage]] = {}
+    count = 0
+    for sid in sorted(outbound_by_shard):
+        for record in outbound_by_shard[sid]:
+            dst_shard = owner.get(record[2])
+            if dst_shard is None:
+                raise SimulationError(
+                    f"cross-shard message to unknown actor {record[2]!r}"
+                )
+            inbound.setdefault(dst_shard, []).append(record)
+            count += 1
+    return inbound, count
+
+
+def run_sharded(
+    specs: Sequence[ShardSpec],
+    until: Optional[float] = None,
+    workers: int = 1,
+    lookahead: Optional[float] = None,
+    mp_context: Optional[str] = None,
+) -> ParallelRunResult:
+    """Execute shards under conservative time-window synchronisation.
+
+    Parameters
+    ----------
+    specs:
+        One :class:`ShardSpec` per shard; shard ids must be unique.
+    until:
+        Simulation horizon.  Required when ``lookahead`` is set; with no
+        lookahead it may be ``None`` (each shard runs its queue dry — the
+        embarrassingly parallel case).
+    workers:
+        Worker processes.  ``1`` runs every shard sequentially in-process —
+        the *single-process reference engine* used by the differential tests;
+        higher counts fork workers and assign shards round-robin.  Clamped to
+        the shard count.
+    lookahead:
+        Window length in simulated seconds — must not exceed the minimum
+        cross-shard message latency (see
+        :func:`repro.multiring.sharding.plan_shards`, which computes it from
+        the topology).  ``None`` means the shards exchange no messages and
+        run in a single window.
+    mp_context:
+        ``multiprocessing`` start method; defaults to ``fork`` when
+        available.
+
+    Returns
+    -------
+    ParallelRunResult
+        Per-shard ``finalize()`` results plus run accounting.
+    """
+    specs = list(specs)
+    if not specs:
+        raise ValueError("need at least one shard")
+    ids = [spec.shard_id for spec in specs]
+    if len(set(ids)) != len(ids):
+        raise ValueError(f"duplicate shard ids: {sorted(ids)}")
+    if lookahead is not None:
+        if lookahead <= 0:
+            raise ValueError("lookahead must be positive")
+        if until is None:
+            raise ValueError("windowed execution needs an explicit horizon (until=...)")
+    workers = max(1, min(int(workers), len(specs)))
+
+    start = time.perf_counter()
+    if workers == 1:
+        results, windows, cross, events = _run_inprocess(specs, until, lookahead)
+    else:
+        results, windows, cross, events = _run_multiprocess(
+            specs, until, lookahead, workers, mp_context
+        )
+    wall = time.perf_counter() - start
+    return ParallelRunResult(
+        results=results,
+        wall_clock=wall,
+        windows=windows,
+        cross_messages=cross,
+        events=events,
+        workers=workers,
+    )
+
+
+def _window_plan(until: Optional[float], lookahead: Optional[float]):
+    """Yield successive window end times (a single ``until`` without lookahead)."""
+    if lookahead is None:
+        yield until
+        return
+    t = 0.0
+    while t < until:
+        t = min(t + lookahead, until)
+        yield t
+
+
+def _check_unwindowed_leftovers(
+    inbound: Dict[int, List[RemoteMessage]],
+    lookahead: Optional[float],
+) -> None:
+    """Reject cross-shard traffic that a window-less run could never deliver.
+
+    With a lookahead, messages still in flight after the final window are
+    simply due beyond the horizon — the merged run would not deliver them
+    either.  Without one there is exactly one window, so *any* routed message
+    is lost; that is a misconfigured plan (shards that talk need a
+    lookahead), and losing history silently is the one thing this engine
+    promises never to do.
+    """
+    if lookahead is None and inbound:
+        total = sum(len(records) for records in inbound.values())
+        example = next(iter(inbound.values()))[0]
+        raise SimulationError(
+            f"{total} cross-shard message(s) were sent but the run has no "
+            f"lookahead (single window), e.g. {example[1]}->{example[2]} due "
+            f"at t={example[0]:.6f}; pass lookahead= to run_sharded or plan "
+            "shards so they do not communicate"
+        )
+
+
+def _run_inprocess(specs, until, lookahead):
+    shard_set = _ShardSet(specs)
+    sites = shard_set.actor_sites()
+    owner, routes = _build_routing(sites, require_unique=lookahead is not None)
+    shard_set.set_routes(routes)
+    inbound, cross = _route_outbound(shard_set.start(), owner)
+    windows = 0
+    events: Dict[int, int] = {}
+    for end in _window_plan(until, lookahead):
+        outbound, events = shard_set.run_window(end, inbound)
+        inbound, moved = _route_outbound(outbound, owner)
+        cross += moved
+        windows += 1
+    _check_unwindowed_leftovers(inbound, lookahead)
+    return shard_set.finalize(), windows, cross, events
+
+
+def _run_multiprocess(specs, until, lookahead, workers, mp_context):
+    if mp_context is None:
+        methods = multiprocessing.get_all_start_methods()
+        mp_context = "fork" if "fork" in methods else methods[0]
+    ctx = multiprocessing.get_context(mp_context)
+
+    ordered = sorted(specs, key=lambda s: s.shard_id)
+    assignment: List[List[ShardSpec]] = [[] for _ in range(workers)]
+    for index, spec in enumerate(ordered):
+        assignment[index % workers].append(spec)
+
+    pipes = []
+    procs = []
+    try:
+        for worker_specs in assignment:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(target=_worker_main, args=(child_conn, worker_specs))
+            proc.daemon = True
+            proc.start()
+            child_conn.close()
+            pipes.append(parent_conn)
+            procs.append(proc)
+
+        def recv(conn):
+            reply = conn.recv()
+            if reply[0] == "error":
+                raise RuntimeError(f"shard worker failed:\n{reply[1]}")
+            return reply
+
+        sites: Dict[int, Dict[str, str]] = {}
+        shard_worker: Dict[int, int] = {}
+        for widx, conn in enumerate(pipes):
+            _, worker_sites = recv(conn)
+            sites.update(worker_sites)
+            for sid in worker_sites:
+                shard_worker[sid] = widx
+        owner, routes = _build_routing(sites, require_unique=lookahead is not None)
+        for widx, conn in enumerate(pipes):
+            conn.send(("routes", {
+                sid: routes[sid] for sid, w in shard_worker.items() if w == widx
+            }))
+        for conn in pipes:
+            recv(conn)
+
+        start_outbound: Dict[int, List[RemoteMessage]] = {}
+        for conn in pipes:
+            conn.send(("start",))
+        for conn in pipes:
+            _, worker_out, _ = recv(conn)
+            start_outbound.update(worker_out)
+        inbound, cross = _route_outbound(start_outbound, owner)
+        windows = 0
+        events: Dict[int, int] = {}
+        for end in _window_plan(until, lookahead):
+            for widx, conn in enumerate(pipes):
+                conn.send(("window", end, {
+                    sid: msgs for sid, msgs in inbound.items()
+                    if shard_worker[sid] == widx
+                }))
+            outbound: Dict[int, List[RemoteMessage]] = {}
+            for conn in pipes:
+                _, worker_out, worker_events = recv(conn)
+                outbound.update(worker_out)
+                events.update(worker_events)
+            inbound, moved = _route_outbound(outbound, owner)
+            cross += moved
+            windows += 1
+        _check_unwindowed_leftovers(inbound, lookahead)
+
+        results: Dict[int, Any] = {}
+        for conn in pipes:
+            conn.send(("finish",))
+        for conn in pipes:
+            _, worker_results = recv(conn)
+            results.update(worker_results)
+        return results, windows, cross, events
+    finally:
+        for conn in pipes:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        for proc in procs:
+            proc.join(timeout=30)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=5)

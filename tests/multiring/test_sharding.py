@@ -1,0 +1,124 @@
+"""Tests of the shard planner (`repro.multiring.sharding`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.multiring import GroupSubscriptions, conservative_lookahead, plan_shards, ring_components
+from repro.sim.topology import Topology
+
+
+def wan_topology():
+    topo = Topology(local_latency=0.0001, local_bandwidth_bps=10e9)
+    for name in ("a", "b", "c"):
+        topo.add_site(name)
+    topo.set_link("a", "b", one_way_latency=0.010)
+    topo.set_link("b", "c", one_way_latency=0.030)
+    topo.set_link("a", "c", one_way_latency=0.020)
+    return topo
+
+
+# ---------------------------------------------------------------------------
+# Components
+# ---------------------------------------------------------------------------
+
+def test_disjoint_rings_are_separate_components():
+    assert ring_components({0: ["a", "b"], 1: ["c", "d"], 2: ["e"]}) == [[0], [1], [2]]
+
+
+def test_shared_process_merges_rings():
+    assert ring_components({0: ["a", "b"], 1: ["b", "c"], 2: ["d"]}) == [[0, 1], [2]]
+
+
+def test_transitive_sharing_merges_chains():
+    # 0-1 share b, 1-2 share c: all three are one component.
+    comps = ring_components({0: ["a", "b"], 1: ["b", "c"], 2: ["c", "d"]})
+    assert comps == [[0, 1, 2]]
+
+
+def test_components_are_deterministic():
+    rings = {3: ["x", "y"], 1: ["y", "z"], 7: ["q"], 5: ["r", "s"]}
+    assert ring_components(rings) == ring_components(dict(reversed(list(rings.items()))))
+
+
+def test_co_subscription_components():
+    subs = GroupSubscriptions()
+    subs.subscribe("p1", 0)
+    subs.subscribe("p1", 1)  # p1 merges rings 0 and 1
+    subs.subscribe("p2", 2)
+    subs.subscribe("p3", 3)
+    subs.subscribe("p3", 2)  # p3 merges rings 2 and 3
+    assert subs.co_subscription_components() == [[0, 1], [2, 3]]
+
+
+# ---------------------------------------------------------------------------
+# Planning
+# ---------------------------------------------------------------------------
+
+def test_plan_balances_components_over_workers():
+    rings = {0: ["a", "b", "c"], 1: ["d", "e", "f"], 2: ["g", "h"], 3: ["i"]}
+    plan = plan_shards(rings, workers=2)
+    assert plan.shard_count == 2
+    # Every ring lands somewhere, exactly once.
+    placed = sorted(r for shard in plan.shards for r in shard)
+    assert placed == [0, 1, 2, 3]
+    # Greedy balance: the two 3-member components split across shards.
+    assert plan.shard_of_ring(0) != plan.shard_of_ring(1)
+    # Every actor maps to the shard of its ring.
+    assert plan.actor_shard["a"] == plan.shard_of_ring(0)
+    assert plan.actor_shard["i"] == plan.shard_of_ring(3)
+
+
+def test_plan_never_splits_a_component():
+    rings = {0: ["a", "b"], 1: ["b", "c"], 2: ["d"]}
+    plan = plan_shards(rings, workers=4)
+    assert plan.shard_count == 2  # only two independent components exist
+    assert plan.shard_of_ring(0) == plan.shard_of_ring(1)
+
+
+def test_plan_is_deterministic():
+    rings = {i: [f"p{i}a", f"p{i}b"] for i in range(6)}
+    plans = [plan_shards(rings, workers=3) for _ in range(3)]
+    assert plans[0].shards == plans[1].shards == plans[2].shards
+
+
+def test_lookahead_from_topology():
+    topo = wan_topology()
+    rings = {0: ["pa"], 1: ["pb"], 2: ["pc"]}
+    sites = {"pa": "a", "pb": "b", "pc": "c"}
+    plan = plan_shards(rings, workers=3, actor_sites=sites, topology=topo)
+    assert plan.lookahead == pytest.approx(0.010)  # the a<->b link is tightest
+
+
+def test_lookahead_none_without_topology():
+    plan = plan_shards({0: ["a"], 1: ["b"]}, workers=2)
+    assert plan.lookahead is None
+
+
+def test_colocated_shards_rejected_for_windowed_execution():
+    topo = wan_topology()
+    rings = {0: ["pa"], 1: ["pb"]}
+    sites = {"pa": "a", "pb": "a"}  # both shards on site "a"
+    with pytest.raises(ValueError, match="co-located"):
+        plan_shards(rings, workers=2, actor_sites=sites, topology=topo)
+
+
+def test_cross_shard_subscription_rejected():
+    subs = GroupSubscriptions()
+    subs.subscribe("observer", 0)
+    subs.subscribe("observer", 1)
+    # The ring membership alone makes 0 and 1 disjoint, but the subscription
+    # table says some learner merges both: the plan must refuse.
+    with pytest.raises(ValueError, match="co-subscribed groups must be co-located"):
+        plan_shards({0: ["a"], 1: ["b"]}, workers=2, subscriptions=subs)
+
+
+def test_conservative_lookahead_ignores_same_shard_pairs():
+    topo = wan_topology()
+    lookahead = conservative_lookahead(
+        topo,
+        actor_sites={"p1": "a", "p2": "b", "p3": "c"},
+        actor_shard={"p1": 0, "p2": 0, "p3": 1},
+    )
+    # Only shard 0 (a, b) vs shard 1 (c) pairs count: min(b-c, a-c) = 0.020.
+    assert lookahead == pytest.approx(0.020)

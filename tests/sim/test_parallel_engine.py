@@ -1,0 +1,253 @@
+"""Unit tests of the conservative parallel engine (`repro.sim.parallel`).
+
+The load-bearing property: a sharded run is bit-identical for every worker
+count, and — for deployments with deterministic latencies — bit-identical to
+running the merged deployment on one shared simulator.  Builders live at
+module level so the specs survive the ``multiprocessing`` boundary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Actor, Environment, Network, ShardHarness, ShardSpec, Topology, run_sharded
+from repro.sim.kernel import SimulationError, Simulator
+
+
+LINK_LATENCY = 0.010
+ROUNDS = 30
+HORIZON = 2.0
+
+
+def two_site_topology() -> Topology:
+    topo = Topology(local_latency=0.00005, local_bandwidth_bps=10e9)
+    topo.add_site("s0")
+    topo.add_site("s1")
+    topo.set_link("s0", "s1", one_way_latency=LINK_LATENCY, bandwidth_bps=1e9)
+    return topo
+
+
+class Pinger(Actor):
+    """Bounces a counter to a peer; logs (time, value) on every receipt."""
+
+    def __init__(self, env, name, site, peer, rounds):
+        super().__init__(env, name, site)
+        self.peer = peer
+        self.rounds = rounds
+        self.log = []
+
+    def on_start(self):
+        if self.name.endswith("0"):
+            self.send(self.peer, {"n": 0, "size_bytes": 256})
+
+    def on_message(self, sender, message):
+        self.log.append((round(self.now, 9), message["n"]))
+        if message["n"] < self.rounds:
+            self.send(sender, {"n": message["n"] + 1, "size_bytes": 256})
+
+
+class PingerHarness(ShardHarness):
+    def __init__(self, env, actor):
+        super().__init__(env)
+        self.actor = actor
+
+    def start(self):
+        self.actor.on_start()
+
+    def finalize(self):
+        return self.actor.log
+
+
+def build_pinger_shard(payload):
+    index, rounds = payload
+    env = Environment(seed=7)
+    Network(env, two_site_topology(), jitter_fraction=0.0)
+    actor = Pinger(env, f"p{index}", f"s{index}", f"p{1 - index}", rounds)
+    return PingerHarness(env, actor)
+
+
+def run_merged_pingpong(rounds):
+    env = Environment(seed=7)
+    Network(env, two_site_topology(), jitter_fraction=0.0)
+    a = Pinger(env, "p0", "s0", "p1", rounds)
+    b = Pinger(env, "p1", "s1", "p0", rounds)
+    a.on_start()
+    b.on_start()
+    env.run(until=HORIZON)
+    return {0: a.log, 1: b.log}
+
+
+class CountingActor(Actor):
+    """Self-contained shard workload: periodic local ticks, no messages."""
+
+    def __init__(self, env, name, ticks):
+        super().__init__(env, name)
+        self.remaining = ticks
+        self.fired = []
+
+    def on_start(self):
+        self.env.simulator.call_later(0.001, self._tick)
+
+    def _tick(self):
+        self.fired.append(round(self.now, 9))
+        self.remaining -= 1
+        if self.remaining:
+            self.env.simulator.call_later(0.001, self._tick)
+
+    def on_message(self, sender, message):  # pragma: no cover - never called
+        raise AssertionError("independent shard received a message")
+
+
+class CountingHarness(ShardHarness):
+    def __init__(self, env, actor):
+        super().__init__(env)
+        self.actor = actor
+
+    def start(self):
+        self.actor.on_start()
+
+    def finalize(self):
+        return self.actor.fired
+
+
+def build_counting_shard(payload):
+    env = Environment(seed=payload)
+    topo = Topology()
+    topo.add_site("dc1")
+    Network(env, topo, jitter_fraction=0.0)
+    actor = CountingActor(env, f"counter{payload}", ticks=50)
+    return CountingHarness(env, actor)
+
+
+# ---------------------------------------------------------------------------
+# Windowed cross-shard execution
+# ---------------------------------------------------------------------------
+
+def specs():
+    return [ShardSpec(i, build_pinger_shard, (i, ROUNDS)) for i in range(2)]
+
+
+def test_sharded_matches_merged_single_simulator():
+    """Windowed shards reproduce the merged run's exact times and values."""
+    reference = run_merged_pingpong(ROUNDS)
+    run = run_sharded(specs(), until=HORIZON, workers=1, lookahead=LINK_LATENCY)
+    assert run.results[0] == reference[0]
+    assert run.results[1] == reference[1]
+    assert run.cross_messages == ROUNDS + 1
+    assert run.windows >= int(HORIZON / LINK_LATENCY)
+
+
+def test_workers_do_not_change_results():
+    """Multiprocessing execution is bit-identical to the in-process engine."""
+    sequential = run_sharded(specs(), until=HORIZON, workers=1, lookahead=LINK_LATENCY)
+    parallel = run_sharded(specs(), until=HORIZON, workers=2, lookahead=LINK_LATENCY)
+    assert parallel.workers == 2
+    assert parallel.results == sequential.results
+    assert parallel.cross_messages == sequential.cross_messages
+    assert parallel.events == sequential.events
+
+
+def test_start_time_sends_cross_the_barrier():
+    """The t=0 send from ``on_start`` reaches the other shard."""
+    run = run_sharded(specs(), until=HORIZON, workers=1, lookahead=LINK_LATENCY)
+    # p1 received the opening message (n=0) even though it was sent before
+    # the first window ran.
+    assert run.results[1][0][1] == 0
+
+
+def test_lookahead_violation_raises():
+    """A window longer than the minimum latency is rejected, not reordered."""
+    with pytest.raises(SimulationError, match="lookahead violation"):
+        run_sharded(specs(), until=HORIZON, workers=1, lookahead=5 * LINK_LATENCY)
+
+
+# ---------------------------------------------------------------------------
+# Embarrassingly parallel execution (no lookahead)
+# ---------------------------------------------------------------------------
+
+def test_independent_shards_single_window():
+    seq = run_sharded(
+        [ShardSpec(i, build_counting_shard, i) for i in range(3)], workers=1
+    )
+    par = run_sharded(
+        [ShardSpec(i, build_counting_shard, i) for i in range(3)], workers=3
+    )
+    assert seq.windows == 1
+    assert seq.results == par.results
+    assert all(len(v) == 50 for v in seq.results.values())
+
+
+# ---------------------------------------------------------------------------
+# Validation and plumbing
+# ---------------------------------------------------------------------------
+
+def test_duplicate_shard_ids_rejected():
+    with pytest.raises(ValueError, match="duplicate shard ids"):
+        run_sharded([ShardSpec(0, build_counting_shard, 0),
+                     ShardSpec(0, build_counting_shard, 1)])
+
+
+def test_lookahead_requires_horizon():
+    with pytest.raises(ValueError, match="horizon"):
+        run_sharded(specs(), workers=1, lookahead=LINK_LATENCY)
+
+
+def test_cross_traffic_without_lookahead_raises():
+    """Shards that talk need windows; a single-window run must not lose mail."""
+    with pytest.raises(SimulationError, match="no\\s+lookahead"):
+        run_sharded(specs(), until=HORIZON, workers=1)
+
+
+def test_worker_count_clamped_to_shards():
+    run = run_sharded([ShardSpec(0, build_counting_shard, 0)], workers=8)
+    assert run.workers == 1
+
+
+def test_worker_exception_surfaces():
+    with pytest.raises(RuntimeError, match="shard worker failed"):
+        run_sharded(
+            [ShardSpec(i, _build_broken_shard, i) for i in range(2)], workers=2
+        )
+
+
+def _build_broken_shard(payload):
+    raise RuntimeError(f"builder exploded for shard {payload}")
+
+
+def test_gateway_send_to_undeclared_actor_still_drops():
+    env = Environment(seed=1)
+    network = Network(env, two_site_topology(), jitter_fraction=0.0)
+    actor = Pinger(env, "p0", "s0", "nobody", 1)
+    network.set_remote_routes({"p1": "s1"})
+    actor.send("nobody", {"n": 0, "size_bytes": 64})
+    assert network.stats.dropped == 1
+    assert network.drain_outbox() == []
+
+
+# ---------------------------------------------------------------------------
+# Kernel window primitives
+# ---------------------------------------------------------------------------
+
+def test_run_window_lands_exactly_on_end():
+    sim = Simulator()
+    fired = []
+    sim.call_later(0.5, fired.append, 1)
+    sim.call_later(1.5, fired.append, 2)
+    assert sim.run_window(1.0) == 1
+    assert sim.now == 1.0
+    assert fired == [1]
+    assert sim.run_window(2.0) == 1
+    assert sim.now == 2.0
+    with pytest.raises(SimulationError):
+        sim.run_window(1.0)
+
+
+def test_next_event_time_skips_cancelled():
+    sim = Simulator()
+    handle = sim.call_later(0.25, lambda: None)
+    sim.call_later(0.75, lambda: None)
+    assert sim.next_event_time() == 0.25
+    handle.cancel()
+    assert sim.next_event_time() == 0.75
+    sim.run()
+    assert sim.next_event_time() is None
