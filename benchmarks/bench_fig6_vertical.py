@@ -34,14 +34,17 @@ def test_fig6_point(benchmark, rings: int, windows):
     assert result.metrics["aggregate_ops"] > 0
 
 
+@pytest.mark.parametrize("configuration", ["independent", "shared"])
 @pytest.mark.parametrize("rings", _RING_COUNTS)
-def test_fig6_point_sharded(benchmark, rings: int, windows, workers):
+def test_fig6_point_sharded(benchmark, rings: int, windows, workers, configuration):
     """One ring-count point on the sharded engine (``--workers N``).
 
-    Each ring runs as its own shard (independent-rings configuration) spread
-    over ``N`` worker processes; compare ``aggregate_ops`` and the recorded
-    wall clock against the single-loop points above to see the multi-core
-    scaling curve.
+    Each ring runs as its own shard spread over ``N`` worker processes.
+    ``independent`` gives every shard its own replica; ``shared`` is the
+    figure's *original* deployment — shared learner plus the common ring,
+    reconstructed by the merge stage.  Compare ``aggregate_ops`` and the
+    recorded wall clock against the single-loop points above to see the
+    multi-core scaling curve.
     """
     if workers is None:
         pytest.skip("pass --workers N to run the sharded figure points")
@@ -54,6 +57,7 @@ def test_fig6_point_sharded(benchmark, rings: int, windows, workers):
             warmup=warmup,
             duration=duration,
             workers=workers,
+            sharded_configuration=configuration,
         )
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -41,11 +41,16 @@ def test_fig7_point(benchmark, regions: int, windows):
 
 
 @pytest.mark.parametrize("regions", _REGION_COUNTS)
-def test_fig7_point_sharded(benchmark, regions: int, windows, workers):
+@pytest.mark.parametrize("configuration", ["independent", "shared"])
+def test_fig7_point_sharded(benchmark, regions: int, windows, workers, configuration):
     """One region-count point on the sharded engine (``--workers N``).
 
-    One shard per region (no global ring), spread over ``N`` worker
-    processes — the multi-core re-measurement of horizontal scalability.
+    One shard per region, spread over ``N`` worker processes — the
+    multi-core re-measurement of horizontal scalability.  ``independent``
+    drops the global ring; ``shared`` keeps the figure's *original* globally
+    ordered deployment — every replica subscribes to its partition ring plus
+    the global ring, which runs in its own shard with the replicas' merge
+    order reconstructed by the merge stage.
     """
     if workers is None:
         pytest.skip("pass --workers N to run the sharded figure points")
@@ -59,6 +64,7 @@ def test_fig7_point_sharded(benchmark, regions: int, windows, workers):
             warmup=warmup,
             duration=duration,
             workers=workers,
+            sharded_configuration=configuration,
         )
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -24,7 +24,8 @@ def pytest_addoption(parser):
         default=None,
         help=(
             "re-measure the scalability figures (6/7) on the sharded engine "
-            "with this many worker processes (independent-rings configuration)"
+            "with this many worker processes (both the independent-rings and "
+            "the original shared-learner configurations)"
         ),
     )
 

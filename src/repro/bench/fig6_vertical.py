@@ -44,14 +44,17 @@ def run_fig6_point(
     duration: float = 8.0,
     seed: int = 42,
     workers: Optional[int] = None,
+    sharded_configuration: str = "independent",
 ) -> ExperimentResult:
     """Run one ring-count point of Figure 6.
 
-    ``workers`` switches to the sharded engine (one shard per ring in the
-    independent-rings configuration, spread over that many cores — see
-    :func:`repro.bench.parallel.run_fig6_sharded`).  ``None`` (default) runs
-    the figure's original deployment — shared learners, a common ring — on
-    one event loop.
+    ``workers`` switches to the sharded engine spread over that many cores
+    (see :func:`repro.bench.parallel.run_fig6_sharded`).
+    ``sharded_configuration`` selects the sharded deployment shape:
+    ``"independent"`` gives every shard its own replica (one ring per shard),
+    ``"shared"`` runs the figure's *original* shape — shared learner, common
+    ring — one ring per shard with a parent-side merge stage.  ``workers=None``
+    (default) runs the original deployment on one event loop.
     """
     if ring_count < 1:
         raise ValueError("ring_count must be >= 1")
@@ -65,6 +68,7 @@ def run_fig6_point(
             warmup=warmup,
             duration=duration,
             seed=seed,
+            configuration=sharded_configuration,
         )
     config = MultiRingConfig(
         storage_mode=StorageMode.ASYNC_HDD,

@@ -51,6 +51,7 @@ def run_fig7_point(
     seed: int = 42,
     offered_rate_per_region: float = 400.0,
     workers: Optional[int] = None,
+    sharded_configuration: str = "independent",
 ) -> ExperimentResult:
     """Run one region-count point of Figure 7.
 
@@ -62,10 +63,13 @@ def run_fig7_point(
     compatibility and bounds the number of outstanding requests implicitly
     through the offered rate.
 
-    ``workers`` switches to the sharded engine (one shard per region without
-    the global ring, spread over that many cores — see
-    :func:`repro.bench.parallel.run_fig7_sharded`); ``None`` runs the original
-    globally ordered deployment on one event loop.
+    ``workers`` switches to the sharded engine spread over that many cores
+    (see :func:`repro.bench.parallel.run_fig7_sharded`);
+    ``sharded_configuration="shared"`` keeps the figure's *original* shape —
+    partition rings plus the global ring all replicas subscribe to — with the
+    global ring in its own shard and a parent-side merge stage, while
+    ``"independent"`` drops the global ring.  ``workers=None`` runs the
+    original globally ordered deployment on one event loop.
     """
     if not 1 <= region_count <= len(EC2_REGIONS):
         raise ValueError(f"region_count must be within 1..{len(EC2_REGIONS)}")
@@ -80,6 +84,7 @@ def run_fig7_point(
             duration=duration,
             seed=seed,
             offered_rate_per_region=offered_rate_per_region,
+            configuration=sharded_configuration,
         )
     regions = list(EC2_REGIONS[:region_count])
     config = global_config(storage_mode=StorageMode.ASYNC_SSD).with_(

@@ -2,41 +2,59 @@
 
 The single-process figure runners execute every ring on one event loop; the
 runners here re-measure vertical (Figure 6) and horizontal (Figure 7)
-scalability with the deployment's independent rings partitioned across real
-cores via :func:`repro.sim.parallel.run_sharded`.
+scalability with the deployment's rings partitioned across real cores via
+:func:`repro.sim.parallel.run_sharded`.  Two configurations per figure:
 
-The sharded deployments use the *independent rings* configuration: each
-shard hosts complete rings — acceptors, its own replica/learner, its own
-clients — and no process participates in rings of two shards, which is the
-precondition for sharded execution (see :mod:`repro.multiring.sharding`).
-Figure 6's shared learner set (every replica subscribed to all rings plus a
-common ring) and Figure 7's global ring tie all rings into one component and
-therefore cannot shard; the paper's scaling claim — rings do not interfere —
-is exactly what the independent configuration isolates, so the sharded
-curves measure the same property on real cores.
+* ``configuration="independent"`` — each shard hosts complete rings:
+  acceptors, its own replica/learner, its own clients; no process
+  participates in rings of two shards.  This isolates the paper's scaling
+  claim (rings do not interfere) but is *not* the deployment the figures
+  measured.
+* ``configuration="shared"`` — the figures' **original** shape: Figure 6's
+  learner subscribes to every log ring plus a common ring, Figure 7's
+  replicas subscribe to their partition ring plus a global ring.  The rings
+  share *learners only*, so each ring still runs in its own shard; every
+  shard records its ring's ordered decision stream (skips included), and a
+  deterministic **merge stage** (:func:`repro.multiring.merge.replay_streams`)
+  reconstructs the shared learner's round-robin delivery order in the parent
+  — exactly the sequence the deployment's
+  :class:`~repro.multiring.merge.DeterministicMerger` produces from those
+  streams.  The shards exchange no messages (the coupling is the merge, not
+  traffic), so the run is embarrassingly parallel.
 
 Determinism: ``run_figN_sharded(..., workers=k)`` is bit-identical for every
 ``k`` — the engine executes the same per-shard simulators whether they run
 sequentially in-process (``workers=1``, the single-process reference engine)
-or in ``k`` worker processes.  ``tests/bench/test_parallel_differential.py``
-asserts this on full per-learner delivery sequences, and
+or in ``k`` worker processes, and the merge stage is a pure function of the
+recorded streams.  ``tests/bench/test_parallel_differential.py`` asserts
+this on full per-learner delivery sequences (both configurations), and
 ``benchmarks/bench_parallel.py`` records the wall-clock speedup in
 ``BENCH_parallel.json``.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.amcast import AtomicMulticast
 from ..core.client import ClosedLoopClient, OpenLoopClient
 from ..core.config import MultiRingConfig, global_config
+from ..core.smr import ProposerFrontend
+from ..multiring.merge import replay_streams
+from ..multiring.process import MultiRingProcess
+from ..net.ring import RingMember
+from ..paxos.messages import SKIP
 from ..sim.disk import StorageMode
 from ..sim.parallel import ParallelRunResult, ShardSpec, run_sharded
 from ..sim.topology import EC2_REGIONS, ec2_global, single_datacenter
 from .runner import ExperimentResult, MeasurementWindow, ShardedMeasurement
 
 __all__ = ["run_fig6_sharded", "run_fig7_sharded"]
+
+#: Ring ids of the original (shared-learner) deployments, mirrored from the
+#: single-process figure runners.
+FIG6_COMMON_RING_ID = 99
+FIG7_GLOBAL_RING_ID = 50
 
 
 def _stable_payload_key(payload: Any) -> Any:
@@ -49,12 +67,17 @@ def _stable_payload_key(payload: Any) -> Any:
     what time — is.
     """
     from ..core.client import Command, CommandBatch
+    from ..ringpaxos.coordinator import PackedValues
 
     if isinstance(payload, Command):
         return (payload.op, payload.args, payload.group_id, payload.client,
                 payload.created_at)
     if isinstance(payload, CommandBatch):
         return tuple(_stable_payload_key(command) for command in payload)
+    if payload is SKIP:
+        return "<SKIP>"
+    if isinstance(payload, PackedValues):
+        return tuple(_stable_payload_key(value.payload) for value in payload)
     return repr(payload)
 
 
@@ -70,23 +93,62 @@ def _delivery_digest(recorder) -> Dict[str, List[tuple]]:
 
 
 # ---------------------------------------------------------------------------
+# Shared-learner (original-configuration) plumbing: stream taps + merge stage
+# ---------------------------------------------------------------------------
+
+#: Recorded ring output shipped to the parent: ring id → ordered
+#: ``(instance, value)`` pairs, skips included (pre-merge); filled by
+#: :meth:`repro.multiring.process.MultiRingProcess.record_ring_streams`.
+RingStreams = Dict[int, List[Tuple[int, Any]]]
+
+
+def _stream_digest(streams: RingStreams) -> Dict[int, List[tuple]]:
+    """Per-ring stream digests (stable payload keys, skips marked)."""
+    return {
+        ring: [(instance, _stable_payload_key(value.payload)) for instance, value in stream]
+        for ring, stream in streams.items()
+    }
+
+
+def _attach_delivery_digest(harness: ShardedMeasurement, replicas) -> None:
+    """Trace the replicas' deliveries and digest them into ``finalize()``.
+
+    The digest must be computed in-worker *after* the run, so the recorder
+    is wrapped into ``finalize`` rather than stored in ``harness.extra``.
+    """
+    from ..chaos.trace import TraceRecorder
+
+    recorder = TraceRecorder()
+    for replica in replicas:
+        recorder.attach(replica)
+    original_finalize = harness.finalize
+
+    def finalize() -> Dict[str, Any]:
+        result = original_finalize()
+        result["deliveries"] = _delivery_digest(recorder)
+        return result
+
+    harness.finalize = finalize  # type: ignore[method-assign]
+
+
+def _merge_stage(
+    streams: RingStreams, messages_per_round: int
+) -> List[Tuple[int, int, Any]]:
+    """Replay recorded streams into the shared learner's delivery digest."""
+    merged = replay_streams(streams, messages_per_round=messages_per_round)
+    return [
+        (group, instance, _stable_payload_key(value.payload))
+        for group, instance, value in merged
+    ]
+
+
+# ---------------------------------------------------------------------------
 # Figure 6 (vertical scalability) — one shard per ring+disk
 # ---------------------------------------------------------------------------
 
-def _build_fig6_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
-    """Build one Figure 6 shard: a subset of log rings with its own replica.
-
-    Runs inside the worker process.  Mirrors
-    :func:`repro.bench.fig6_vertical.run_fig6_point` except that the shard's
-    replica learns only from the shard's rings (independent-rings
-    configuration) — the shared learner set of the figure's original
-    deployment would tie every ring into one component.
-    """
-    from ..dlog.client import append_request_factory
-    from ..dlog.service import DLogService
-    from ..workloads.log import single_log
-
-    config = MultiRingConfig(
+def _fig6_config() -> MultiRingConfig:
+    """The Figure 6 configuration, mirrored from ``run_fig6_point``."""
+    return MultiRingConfig(
         storage_mode=StorageMode.ASYNC_HDD,
         batching_enabled=True,
         batch_max_bytes=32 * 1024,
@@ -95,6 +157,24 @@ def _build_fig6_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
         checkpoint_interval=None,
         trim_interval=None,
     )
+
+
+def _build_fig6_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
+    """Build one Figure 6 log-ring shard with its own replica.
+
+    Runs inside the worker process.  Mirrors
+    :func:`repro.bench.fig6_vertical.run_fig6_point` for the shard's rings.
+    In the independent-rings configuration the shard's replica *is* the
+    deployment's learner; in the shared configuration it stands in for the
+    shared learner's per-ring half, and ``record_streams`` additionally taps
+    the ring's ordered decision stream (skips included) for the parent-side
+    merge stage.
+    """
+    from ..dlog.client import append_request_factory
+    from ..dlog.service import DLogService
+    from ..workloads.log import single_log
+
+    config = _fig6_config()
     system = AtomicMulticast(
         topology=single_datacenter(), config=config, seed=payload["seed"]
     )
@@ -131,21 +211,58 @@ def _build_fig6_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
         latency_metrics=[f"{m}.latency" for m in metric_names],
     )
     if payload.get("record_deliveries"):
-        from ..chaos.trace import TraceRecorder
-
-        recorder = TraceRecorder()
+        _attach_delivery_digest(harness, service.replicas)
+    if payload.get("record_streams"):
+        streams: RingStreams = {}
         for replica in service.replicas:
-            recorder.attach(replica)
-
-        original_finalize = harness.finalize
-
-        def finalize() -> Dict[str, Any]:
-            result = original_finalize()
-            result["deliveries"] = _delivery_digest(recorder)
-            return result
-
-        harness.finalize = finalize  # type: ignore[method-assign]
+            replica.record_ring_streams(into=streams)
+        harness.extra["streams"] = streams
     return harness
+
+
+def _build_fig6_common_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
+    """Build the shared configuration's common-ring shard.
+
+    The common ring of the original Figure 6 deployment carries no client
+    traffic — it exists so every learner shares one ring — so its shard is
+    just the ring's proposer/acceptor front ends plus a recording learner
+    standing in for the shared learner's subscription.  Its rate-leveled skip
+    stream is exactly what the merge stage needs to advance the round-robin
+    past the idle ring.
+    """
+    config = _fig6_config()
+    system = AtomicMulticast(
+        topology=single_datacenter(), config=config, seed=payload["seed"]
+    )
+    site = system.topology.sites()[0].name
+    frontends = [
+        ProposerFrontend(system.env, f"dlogc-node{i}", site=site, config=config)
+        for i in range(2)
+    ]
+    learner = MultiRingProcess(
+        system.env, "dlog-replica0", site=site,
+        messages_per_round=config.messages_per_round,
+    )
+    members: List[RingMember] = [
+        RingMember(name=f.name, proposer=True, acceptor=True, learner=False)
+        for f in frontends
+    ] + [RingMember(name=learner.name, proposer=False, acceptor=False, learner=True)]
+    system.create_ring(FIG6_COMMON_RING_ID, members, config=config)
+
+    harness = ShardedMeasurement(
+        system,
+        MeasurementWindow(warmup=payload["warmup"], duration=payload["duration"]),
+    )
+    if payload.get("record_streams"):
+        harness.extra["streams"] = learner.record_ring_streams()
+    return harness
+
+
+def _build_fig6_shared_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
+    """Dispatch builder for the shared configuration's two shard kinds."""
+    if payload.get("common_ring"):
+        return _build_fig6_common_shard(payload)
+    return _build_fig6_shard(payload)
 
 
 def run_fig6_sharded(
@@ -157,55 +274,108 @@ def run_fig6_sharded(
     seed: int = 42,
     append_bytes: int = 1024,
     record_deliveries: bool = False,
+    configuration: str = "independent",
 ) -> ExperimentResult:
     """Figure 6 point with one shard per ring, spread over ``workers`` cores.
 
+    ``configuration="independent"`` runs one self-contained ring (with its
+    own replica) per shard; ``configuration="shared"`` runs the figure's
+    *original* deployment shape — ``ring_count`` log rings plus the common
+    ring, coupled only by the shared learner — with one shard per ring and a
+    parent-side merge stage reconstructing the shared learner's round-robin
+    delivery order from the shards' recorded decision streams.
+
     Returns the usual :class:`ExperimentResult` plus parallel-run accounting
-    (``wall_clock_s``, ``events_total``, ``workers``).  With
-    ``record_deliveries=True`` each shard's full per-learner delivery
+    (``wall_clock_s``, ``events_total``, ``workers``, ``barrier_count``).
+    With ``record_deliveries=True`` each shard's full per-learner delivery
     sequence is included under ``series['deliveries']`` keyed by shard id —
-    the payload the seed-differential test compares across worker counts.
+    the payload the seed-differential test compares across worker counts —
+    and the shared configuration additionally reports
+    ``series['merged_deliveries']`` (the merge-stage output) and
+    ``series['ring_streams']`` (the per-ring decision-stream digests).
     """
     if ring_count < 1:
         raise ValueError("ring_count must be >= 1")
+    if configuration not in ("independent", "shared"):
+        raise ValueError(
+            f"configuration must be 'independent' or 'shared', not {configuration!r}"
+        )
+    payload_base = {
+        "clients_per_ring": clients_per_ring,
+        "warmup": warmup,
+        "duration": duration,
+        "seed": seed,
+        "append_bytes": append_bytes,
+        "record_deliveries": record_deliveries,
+        "record_streams": configuration == "shared" and record_deliveries,
+    }
     specs = [
         ShardSpec(
             shard_id=ring,
-            build=_build_fig6_shard,
-            payload={
-                "log_ids": [ring],
-                "clients_per_ring": clients_per_ring,
-                "warmup": warmup,
-                "duration": duration,
-                "seed": seed,
-                "append_bytes": append_bytes,
-                "record_deliveries": record_deliveries,
-            },
+            build=_build_fig6_shared_shard if configuration == "shared" else _build_fig6_shard,
+            payload={**payload_base, "log_ids": [ring]},
         )
         for ring in range(ring_count)
     ]
+    if configuration == "shared":
+        specs.append(
+            ShardSpec(
+                shard_id=ring_count,
+                build=_build_fig6_shared_shard,
+                payload={**payload_base, "common_ring": True},
+            )
+        )
     run = run_sharded(specs, workers=workers)
-    return _collect(
-        "fig6-sharded",
+    result = _collect(
+        "fig6-sharded" if configuration == "independent" else "fig6-sharded-shared",
         run,
-        params={"rings": ring_count, "workers": run.workers},
+        params={
+            "rings": ring_count,
+            "workers": run.workers,
+            "configuration": configuration,
+        },
         rate_keys={
             ring: [f"fig6.ring{ring}.throughput.rate"] for ring in range(ring_count)
         },
         latency_key=(0, "fig6.ring0.latency.mean_ms"),
     )
+    if configuration == "shared" and record_deliveries:
+        streams: RingStreams = {}
+        for shard_result in run.results.values():
+            streams.update(shard_result.get("streams", {}))
+        result.series["ring_streams"] = _stream_digest(streams)
+        result.series["merged_deliveries"] = {
+            # The deployment's single shared learner subscribes to every ring.
+            "dlog-replica0": _merge_stage(
+                streams, messages_per_round=_fig6_config().messages_per_round
+            )
+        }
+    return result
 
 
 # ---------------------------------------------------------------------------
 # Figure 7 (horizontal scalability) — one shard per region
 # ---------------------------------------------------------------------------
 
+def _fig7_config() -> MultiRingConfig:
+    """The Figure 7 configuration, mirrored from ``run_fig7_point``."""
+    return global_config(storage_mode=StorageMode.ASYNC_SSD).with_(
+        batching_enabled=True,
+        batch_max_bytes=32 * 1024,
+        checkpoint_interval=None,
+        trim_interval=None,
+    )
+
+
 def _build_fig7_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
     """Build one Figure 7 shard: one region's partition ring plus its client.
 
-    Mirrors :func:`repro.bench.fig7_horizontal.run_fig7_point` in the
-    independent-rings configuration (no global ring): clients only ever touch
-    their local partition, which is the property the figure measures.
+    Mirrors :func:`repro.bench.fig7_horizontal.run_fig7_point` for one
+    region: clients only ever touch their local partition, which is the
+    property the figure measures.  In the shared configuration the region's
+    replica stands in for the original replica's partition-ring half, and
+    ``record_streams`` taps the ring's ordered decision stream (skips
+    included) for the parent-side merge stage.
     """
     import random as _random
 
@@ -216,12 +386,7 @@ def _build_fig7_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
 
     region = payload["region"]
     group = payload["group"]
-    config = global_config(storage_mode=StorageMode.ASYNC_SSD).with_(
-        batching_enabled=True,
-        batch_max_bytes=32 * 1024,
-        checkpoint_interval=None,
-        trim_interval=None,
-    )
+    config = _fig7_config()
     system = AtomicMulticast(
         topology=ec2_global([region]), config=config, seed=payload["seed"]
     )
@@ -260,22 +425,60 @@ def _build_fig7_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
         latency_metrics=[f"fig7.{region}.latency"],
     )
     if payload.get("record_deliveries"):
-        from ..chaos.trace import TraceRecorder
-
-        recorder = TraceRecorder()
-        for replicas in service.replicas.values():
-            for replica in replicas:
-                recorder.attach(replica)
-
-        original_finalize = harness.finalize
-
-        def finalize() -> Dict[str, Any]:
-            result = original_finalize()
-            result["deliveries"] = _delivery_digest(recorder)
-            return result
-
-        harness.finalize = finalize  # type: ignore[method-assign]
+        _attach_delivery_digest(harness, service.all_replicas())
+    if payload.get("record_streams"):
+        streams: RingStreams = {}
+        for replica in service.all_replicas():
+            replica.record_ring_streams(into=streams)
+        harness.extra["streams"] = streams
     return harness
+
+
+def _build_fig7_global_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
+    """Build the shared configuration's global-ring shard.
+
+    The global ring of the original Figure 7 deployment spans every region;
+    its shard hosts one dedicated proposer/acceptor per region (the
+    ``dedicated_global_acceptors`` shape of
+    :class:`repro.kvstore.service.MRPStoreService`, which is what makes the
+    deployment share learners only) plus one recording learner standing in
+    for the replicas' global subscription.  Clients never address the global
+    group, so the recorded stream is the ring's rate-leveled skips — exactly
+    what the merge stage needs to advance each replica's round-robin.
+    """
+    regions = list(payload["regions"])
+    config = _fig7_config()
+    system = AtomicMulticast(
+        topology=ec2_global(regions), config=config, seed=payload["seed"]
+    )
+    frontends = [
+        ProposerFrontend(system.env, f"kvg-node{g}", site=region, config=config)
+        for g, region in enumerate(regions)
+    ]
+    learner = MultiRingProcess(
+        system.env, "kvg-learner", site=regions[0],
+        messages_per_round=config.messages_per_round,
+    )
+    members: List[RingMember] = [
+        RingMember(name=f.name, proposer=True, acceptor=True, learner=False)
+        for f in frontends
+    ] + [RingMember(name=learner.name, proposer=False, acceptor=False, learner=True)]
+    system.create_ring(FIG7_GLOBAL_RING_ID, members, config=config)
+
+    harness = ShardedMeasurement(
+        system,
+        MeasurementWindow(warmup=payload["warmup"], duration=payload["duration"]),
+    )
+    if payload.get("record_streams"):
+        harness.extra["streams"] = learner.record_ring_streams()
+    return harness
+
+
+def _build_fig7_shared_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
+    """Dispatch builder for the shared configuration's two shard kinds."""
+    if payload.get("global_ring"):
+        return _build_fig7_global_shard(payload)
+    return _build_fig7_shard(payload)
 
 
 def run_fig7_sharded(
@@ -288,41 +491,84 @@ def run_fig7_sharded(
     offered_rate_per_region: float = 400.0,
     update_bytes: int = 1024,
     record_deliveries: bool = False,
+    configuration: str = "independent",
 ) -> ExperimentResult:
-    """Figure 7 point with one shard per region, spread over ``workers`` cores."""
+    """Figure 7 point with one shard per region, spread over ``workers`` cores.
+
+    ``configuration="shared"`` runs the figure's *original* shape — every
+    region's partition ring plus the global ring all replicas subscribe to —
+    with the global ring in its own shard and a parent-side merge stage
+    reconstructing each replica's round-robin order over its partition ring
+    and the global ring (``series['merged_deliveries']``, keyed by replica
+    name, when ``record_deliveries=True``).
+    """
     if not 1 <= region_count <= len(EC2_REGIONS):
         raise ValueError(f"region_count must be within 1..{len(EC2_REGIONS)}")
+    if configuration not in ("independent", "shared"):
+        raise ValueError(
+            f"configuration must be 'independent' or 'shared', not {configuration!r}"
+        )
     regions = list(EC2_REGIONS[:region_count])
+    payload_base = {
+        "key_count": key_count,
+        "warmup": warmup,
+        "duration": duration,
+        "seed": seed,
+        "offered_rate": offered_rate_per_region,
+        "update_bytes": update_bytes,
+        "record_deliveries": record_deliveries,
+        "record_streams": configuration == "shared" and record_deliveries,
+    }
     specs = [
         ShardSpec(
             shard_id=group,
-            build=_build_fig7_shard,
-            payload={
-                "region": region,
-                "group": group,
-                "key_count": key_count,
-                "warmup": warmup,
-                "duration": duration,
-                "seed": seed,
-                "offered_rate": offered_rate_per_region,
-                "update_bytes": update_bytes,
-                "record_deliveries": record_deliveries,
-            },
+            build=_build_fig7_shared_shard if configuration == "shared" else _build_fig7_shard,
+            payload={**payload_base, "region": region, "group": group},
         )
         for group, region in enumerate(regions)
     ]
+    if configuration == "shared":
+        specs.append(
+            ShardSpec(
+                shard_id=region_count,
+                build=_build_fig7_shared_shard,
+                payload={**payload_base, "global_ring": True, "regions": regions},
+            )
+        )
     run = run_sharded(specs, workers=workers)
     observed = 0 if "us-west-2" not in regions else regions.index("us-west-2")
-    return _collect(
-        "fig7-sharded",
+    result = _collect(
+        "fig7-sharded" if configuration == "independent" else "fig7-sharded-shared",
         run,
-        params={"regions": region_count, "workers": run.workers},
+        params={
+            "regions": region_count,
+            "workers": run.workers,
+            "configuration": configuration,
+        },
         rate_keys={
             group: [f"fig7.{region}.throughput.rate"]
             for group, region in enumerate(regions)
         },
         latency_key=(observed, f"fig7.{regions[observed]}.latency.mean_ms"),
     )
+    if configuration == "shared" and record_deliveries:
+        streams: RingStreams = {}
+        for shard_result in run.results.values():
+            streams.update(shard_result.get("streams", {}))
+        result.series["ring_streams"] = _stream_digest(streams)
+        merged: Dict[str, List[tuple]] = {}
+        messages_per_round = _fig7_config().messages_per_round
+        for group in range(region_count):
+            # Each replica merges its partition ring with the global ring.
+            merged[f"kv{group}-replica0"] = _merge_stage(
+                {
+                    group: streams.get(group, []),
+                    FIG7_GLOBAL_RING_ID: streams.get(FIG7_GLOBAL_RING_ID, []),
+                },
+                messages_per_round=messages_per_round,
+            )
+        result.series["merged_deliveries"] = merged
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -357,6 +603,7 @@ def _collect(
             "wall_clock_s": run.wall_clock,
             "events_total": float(run.total_events),
             "workers": float(run.workers),
+            "barrier_count": float(run.barrier_count),
         },
         series={"per_shard_ops": sorted(per_shard.items())},
     )

@@ -27,11 +27,12 @@ import json
 import os
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.amcast import AtomicMulticast
 from ..core.client import Command
 from ..core.config import MultiRingConfig
+from ..multiring.merge import replay_streams
 from ..multiring.process import MultiRingProcess
 from ..multiring.sharding import ring_components
 from ..net.message import ClientRequest, ClientResponse
@@ -53,6 +54,7 @@ __all__ = [
     "generate_spec",
     "run_scenario",
     "shardable_components",
+    "shared_merge_learners",
     "main",
 ]
 
@@ -93,7 +95,7 @@ def generate_spec(seed: int) -> Dict[str, Any]:
     rng = random.Random(seed ^ 0xC1A05)
     family = rng.choices(["amcast", "kvstore", "dlog"], weights=[3, 1, 1])[0]
     if family == "amcast":
-        spec = _generate_amcast_spec(rng)
+        spec = _generate_amcast_spec(rng, seed)
     elif family == "kvstore":
         spec = _generate_kvstore_spec(rng)
     else:
@@ -110,7 +112,7 @@ def _pick_storage(rng: random.Random) -> str:
     )[0]
 
 
-def _generate_amcast_spec(rng: random.Random) -> Dict[str, Any]:
+def _generate_amcast_spec(rng: random.Random, seed: int) -> Dict[str, Any]:
     site_count = rng.choice([1, 2, 2, 3])
     sites = [f"s{i}" for i in range(site_count)]
     ring_count = rng.choice([1, 2, 2, 3])
@@ -134,6 +136,18 @@ def _generate_amcast_spec(rng: random.Random) -> Dict[str, Any]:
             start = ring_id * share
             stop = start + share if ring_id < ring_count - 1 else len(pool)
             rings[ring_id] = [[name, "pal"] for name in sorted(pool[start:stop])]
+        # Half of the disjoint draws add one shared learner-only subscriber
+        # across every ring — the paper's Figure 6/7 shape (rings coupled by
+        # a learner, not by traffic), which sharded execution handles with a
+        # merge stage.  Drawn from a seed-derived secondary stream so the
+        # other scenario families and the non-shared draws stay byte-for-byte
+        # what they were before this shape existed.
+        shared_rng = random.Random(seed ^ 0x57A6ED)
+        if shared_rng.random() < 0.5:
+            shared_learner = f"p{process_count}"
+            processes[shared_learner] = shared_rng.choice(sites)
+            for ring_id in rings:
+                rings[ring_id].append([shared_learner, "l"])
     else:
         for ring_id in range(ring_count):
             core = rng.sample(names, k=min(len(names), rng.randint(3, 4)))
@@ -317,14 +331,17 @@ def run_scenario(
     overridable through the ``CHAOS_ARTIFACT_DIR`` environment variable).
 
     ``workers > 1`` opts eligible scenarios into sharded execution: an
-    atomic-multicast scenario whose rings form at least two process-disjoint
-    components — zero cross-ring traffic — splits into per-component
-    sub-scenarios executed in worker processes (see
-    :func:`shardable_components`).  The verdict is identical either way; the
-    oracle simply runs per shard, and cross-shard acyclicity is trivial
-    because the shards share no messages and no learners.  Ineligible
-    scenarios fall back to single-process execution
-    (``stats["sharded"] = False``).
+    atomic-multicast scenario whose rings form at least two components
+    disjoint in their proposers/acceptors — zero cross-ring traffic — splits
+    into per-component sub-scenarios executed in worker processes (see
+    :func:`shardable_components`).  Learner-only subscribers may span
+    components: they are mirrored into every shard hosting one of their
+    rings, and a merge stage replays the recorded per-ring streams into
+    their cross-component delivery digest (see :func:`_run_amcast_sharded`).
+    The verdict is identical either way; the oracle runs per shard, and
+    cross-shard acyclicity through a shared learner is exactly what the
+    deterministic merge replay pins down.  Ineligible scenarios fall back to
+    single-process execution (``stats["sharded"] = False``).
     """
     spec = generate_spec(seed)
     family = spec["family"]
@@ -400,12 +417,16 @@ def _run_epilogue(system, schedule: FaultSchedule, active_end: float) -> Tuple[f
 def _run_amcast(
     spec: Dict[str, Any],
     active_end: Optional[float] = None,
+    stream_sink: Optional[Dict[str, Dict[int, List]]] = None,
 ) -> Tuple[List[Violation], Dict[str, Any], TraceRecorder]:
     """Execute one amcast (sub-)spec start to finish.
 
     ``active_end`` overrides the end of the active phase; sharded execution
     passes the *full* scenario's phase boundary into every sub-spec so all
-    shards run the same simulated timeline.
+    shards run the same simulated timeline.  When the sub-spec names
+    ``merge_learners`` (learners shared with other shards), their per-ring
+    decision streams are recorded into ``stream_sink`` for the parent's
+    merge stage.
     """
     rng = random.Random(spec["seed"] ^ 0x70B0)
     topology = _build_topology(spec["sites"], rng)
@@ -425,6 +446,11 @@ def _run_amcast(
     for process in processes.values():
         if process.subscribed_groups():
             recorder.attach(process)
+    if stream_sink is not None:
+        for name in spec.get("merge_learners", ()):
+            process = processes.get(name)
+            if process is not None:
+                process.record_ring_streams(into=stream_sink.setdefault(name, {}))
 
     schedule = FaultSchedule.from_dicts(spec["schedule"])
     schedule.apply(system)
@@ -474,14 +500,23 @@ def _run_amcast(
 def shardable_components(spec: Dict[str, Any]) -> Optional[List[List[int]]]:
     """Ring components of a scenario eligible for sharded execution.
 
-    A scenario can shard when its rings split into at least two
-    process-disjoint components (no process proposes to or learns from rings
-    of two components — zero cross-ring traffic) and its fault schedule
-    contains no site-level faults: partitions and isolations act on sites,
-    which may host processes of several components, and the resulting
-    channel-state coupling is exactly what sharding assumes away.  Crash,
-    restart, disk-spike and ring-reconfiguration faults route cleanly to the
-    shard owning their victim.
+    A scenario can shard when its rings split into at least two components
+    that are disjoint in their *traffic-generating* members — proposers and
+    acceptors.  Learner-only subscribers may span components: they consume
+    ring outputs but generate no ring traffic, so each shard hosts its own
+    mirror of the learner and a deterministic merge stage
+    (:func:`repro.multiring.merge.replay_streams`) reconstructs the learner's
+    cross-component delivery order from the shards' recorded per-ring
+    streams (see :func:`shared_merge_learners`).
+
+    The fault schedule must contain no site-level faults: partitions and
+    isolations act on sites, which may host processes of several components,
+    and the resulting channel-state coupling is exactly what sharding
+    assumes away.  Crash, restart, disk-spike and ring-reconfiguration
+    faults route cleanly to the shard(s) owning their victim — a fault on a
+    learner shared across shards is mirrored into each of them, exactly as
+    one crash takes down all of that process's per-ring learners in the
+    single-process run.
 
     Returns the components (sorted ring-id lists) or ``None``.
     """
@@ -492,15 +527,50 @@ def shardable_components(spec: Dict[str, Any]) -> Optional[List[List[int]]]:
         if event.get("action") in site_actions:
             return None
     components = ring_components(
-        {int(rid): [m[0] for m in members] for rid, members in spec["rings"].items()}
+        {
+            int(rid): [m[0] for m in members if m[1] != "l"]
+            for rid, members in spec["rings"].items()
+        }
     )
     if len(components) < 2:
         return None
     return components
 
 
+def shared_merge_learners(
+    spec: Dict[str, Any], components: List[List[int]]
+) -> List[str]:
+    """Learner-only processes whose subscriptions span several components.
+
+    These are the processes the merge stage reconstructs: each shard records
+    their per-ring streams, and the parent replays the deterministic merge
+    over the union (sorted names; empty for process-disjoint scenarios).
+    """
+    learner_rings: Dict[str, set] = {}
+    for rid, members in spec["rings"].items():
+        for name, roles in members:
+            # Any membership with a learner role counts towards the merge —
+            # a "pal" member's learner half feeds the same merger as an
+            # "l"-only subscription does.
+            if "l" in roles:
+                learner_rings.setdefault(name, set()).add(int(rid))
+    component_of = {
+        int(ring): index
+        for index, component in enumerate(components)
+        for ring in component
+    }
+    return sorted(
+        name
+        for name, rings in learner_rings.items()
+        if len({component_of[ring] for ring in rings if ring in component_of}) > 1
+    )
+
+
 def _split_amcast_spec(
-    spec: Dict[str, Any], component: List[int], active_end: float
+    spec: Dict[str, Any],
+    component: List[int],
+    active_end: float,
+    merge_learners: Sequence[str] = (),
 ) -> Dict[str, Any]:
     """The sub-spec of one ring component (same seed, sites and timeline)."""
     rings = {rid: spec["rings"][_ring_key(spec, rid)] for rid in component}
@@ -508,11 +578,12 @@ def _split_amcast_spec(
     schedule = []
     for event in spec["schedule"]:
         action = event.get("action")
+        params = event.get("params", {})
         if action in ("crash", "restart"):
-            if event.get("process") in members:
+            if params.get("process") in members:
                 schedule.append(event)
         elif action in ("remove_from_ring", "add_to_ring"):
-            if int(event.get("ring_id", -1)) in component:
+            if int(params.get("ring_id", -1)) in component:
                 schedule.append(event)
         else:  # disk spikes and anything site-free applies everywhere
             schedule.append(event)
@@ -524,6 +595,7 @@ def _split_amcast_spec(
     sub["messages"] = [m for m in spec["messages"] if m["group"] in component]
     sub["schedule"] = schedule
     sub["active_end"] = active_end
+    sub["merge_learners"] = [name for name in merge_learners if name in members]
     return sub
 
 
@@ -545,9 +617,14 @@ class _AmcastShard(ShardHarness):
         super().__init__(Environment())
         self._subspec = subspec
         self._outcome: Optional[Tuple[List[Violation], Dict[str, Any], TraceRecorder]] = None
+        self._streams: Dict[str, Dict[int, List]] = {}
 
     def run_window(self, end: Optional[float]) -> None:
-        self._outcome = _run_amcast(self._subspec, active_end=self._subspec["active_end"])
+        self._outcome = _run_amcast(
+            self._subspec,
+            active_end=self._subspec["active_end"],
+            stream_sink=self._streams,
+        )
 
     def finalize(self) -> Dict[str, Any]:
         violations, stats, recorder = self._outcome
@@ -562,6 +639,10 @@ class _AmcastShard(ShardHarness):
                 ]
                 for name, trace in recorder.traces.items()
             },
+            # Per-ring streams of learners shared with other shards (raw
+            # ProposalValues, skips included) for the parent's merge stage.
+            "streams": self._streams,
+            "crashed": sorted(recorder.crashed_ever),
         }
 
 
@@ -579,14 +660,23 @@ def _run_amcast_sharded(
     Returns merged ``(violations, stats, trace_tails, delivery_digests)``;
     the digests (full per-learner delivery sequences) are what the
     determinism tests compare across worker counts.
+
+    Learners shared across components are mirrored into every shard that
+    hosts one of their rings; their per-shard partial digests are keyed
+    ``name@shard<id>``, and — unless a fault touched the learner mid-run —
+    a merge stage (:func:`repro.multiring.merge.replay_streams`) replays the
+    shards' recorded per-ring streams into the learner's cross-component
+    delivery digest under its plain name, exactly the round-robin order its
+    single-process merger produces from those streams.
     """
     schedule = FaultSchedule.from_dicts(spec["schedule"])
     active_end = max(spec["horizon"], schedule.end_time) + SETTLE
+    merge_learners = shared_merge_learners(spec, components)
     specs = [
         ShardSpec(
             shard_id=index,
             build=_build_amcast_shard,
-            payload=_split_amcast_spec(spec, component, active_end),
+            payload=_split_amcast_spec(spec, component, active_end, merge_learners),
         )
         for index, component in enumerate(components)
     ]
@@ -595,6 +685,9 @@ def _run_amcast_sharded(
     violations: List[Violation] = []
     tails: Dict[str, Any] = {}
     digests: Dict[str, Any] = {}
+    streams_by_name: Dict[str, Dict[int, List]] = {}
+    crashed: set = set()
+    shared = set(merge_learners)
     stats: Dict[str, Any] = {
         "sent": 0,
         "retries": 0,
@@ -605,12 +698,39 @@ def _run_amcast_sharded(
     for shard_id in sorted(run.results):
         shard = run.results[shard_id]
         violations.extend(Violation(prop, detail) for prop, detail in shard["violations"])
-        tails.update(shard["tails"])
-        digests.update(shard["digests"])
+        for name, tail in shard["tails"].items():
+            tails[f"{name}@shard{shard_id}" if name in shared else name] = tail
+        for name, digest in shard["digests"].items():
+            digests[f"{name}@shard{shard_id}" if name in shared else name] = digest
+        for name, ring_streams in shard["streams"].items():
+            streams_by_name.setdefault(name, {}).update(ring_streams)
+        crashed.update(shard["crashed"])
         shard_stats = shard["stats"]
         for key in ("sent", "retries", "dropped_messages"):
             stats[key] += shard_stats[key]
-        stats["deliveries"].update(shard_stats["deliveries"])
+        for name, count in shard_stats["deliveries"].items():
+            key = f"{name}@shard{shard_id}" if name in shared else name
+            stats["deliveries"][key] = count
+
+    # Merge stage: reconstruct each shared learner's cross-component delivery
+    # order.  A learner that crashed or was reconfigured mid-run re-emits
+    # parts of its streams (per incarnation), so its offline replay is not
+    # well-defined — the per-shard partial digests remain authoritative then.
+    touched = {
+        event.get("params", {}).get("process")
+        for event in spec["schedule"]
+        if event.get("action") in ("crash", "restart", "remove_from_ring", "add_to_ring")
+    }
+    messages_per_round = spec.get("messages_per_round", 1)
+    for name in merge_learners:
+        if name in touched or name in crashed:
+            continue
+        streams = streams_by_name.get(name)
+        if streams:
+            merged = replay_streams(streams, messages_per_round=messages_per_round)
+            digests[name] = [
+                (group, instance, value.payload) for group, instance, value in merged
+            ]
     # Broadcast faults (disk spikes) execute in every shard's sub-schedule;
     # summing the per-shard counts would multiply them by the shard count.
     # The scenario's fault count is the full schedule's, exactly as in the
@@ -621,6 +741,8 @@ def _run_amcast_sharded(
         "shards": [list(component) for component in components],
         "wall_clock_s": round(run.wall_clock, 4),
     }
+    if merge_learners:
+        stats["sharded"]["merge_learners"] = merge_learners
     return violations, stats, tails, digests
 
 
@@ -864,10 +986,13 @@ writes chaos-artifacts/chaos-seed<SEED>.json (spec, fault timeline,
 violations, per-learner trace tails) with the replay command inside.
 
 --workers N opts eligible scenarios into sharded execution: an
-atomic-multicast scenario whose rings form two or more process-disjoint
-components (zero cross-ring traffic) runs one component per shard; the
-invariant verdict is identical to the single-process run.  Scenarios with
-site-level faults or entangled rings fall back to one process.
+atomic-multicast scenario whose rings form two or more components disjoint
+in their proposers/acceptors runs one component per shard — including
+shared-learner draws, where a learner-only subscriber spans every ring and
+a merge stage replays the shards' recorded per-ring streams into its
+cross-component delivery order.  The invariant verdict is identical to the
+single-process run.  Scenarios with site-level faults or rings entangled by
+traffic-generating processes fall back to one process.
 
 Environment: CHAOS_ARTIFACT_DIR overrides the artifact directory.
 Run with PYTHONPATH=src from the repository root."""

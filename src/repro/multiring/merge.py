@@ -16,19 +16,73 @@ instances (produced by :class:`repro.ringpaxos.learner.RingLearner`) and emits
 application deliveries.  It is a pure data structure, which makes the ordering
 property easy to test: any interleaving of `offer()` calls produces the same
 delivery sequence.
+
+That interleaving-independence is also what makes the merge *replayable*:
+:func:`replay_streams` reconstructs a learner's delivery order offline from
+recorded per-ring decision streams.  The sharded execution engine uses it as
+its **merge stage** — a deployment whose rings share learners only (the
+paper's Figure 6/7 configurations) runs one ring component per shard, each
+shard records its rings' ordered decision streams (skips included), and the
+parent replays them here to obtain the exact round-robin order the shared
+learner would have produced (see :mod:`repro.multiring.sharding` and
+:mod:`repro.bench.parallel`).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..paxos.messages import SKIP, ProposalValue
 from ..ringpaxos.coordinator import PackedValues
 
-__all__ = ["DeterministicMerger"]
+__all__ = ["DeterministicMerger", "replay_streams"]
 
 DeliverCallback = Callable[[int, int, ProposalValue], None]
+
+#: One ring's recorded output: ordered ``(instance, value)`` pairs exactly as
+#: a :class:`~repro.ringpaxos.learner.RingLearner` emitted them (skips
+#: included — the round-robin needs them to advance).
+RingStream = Sequence[Tuple[int, ProposalValue]]
+
+
+def replay_streams(
+    streams: Mapping[int, RingStream],
+    messages_per_round: int = 1,
+    on_deliver: Optional[DeliverCallback] = None,
+) -> List[Tuple[int, int, ProposalValue]]:
+    """Replay recorded per-ring decision streams through the deterministic merge.
+
+    The merge stage of sharded execution: given, for every subscribed group,
+    the ordered ``(instance, value)`` stream its ring decided (skips
+    included), reconstruct the delivery sequence a learner subscribed to all
+    of them would produce.  Because :class:`DeterministicMerger` is
+    insensitive to how ``offer()`` calls interleave across groups, the replay
+    order (group by group) is irrelevant — the result is the unique
+    round-robin order of the streams.
+
+    Returns the merged deliveries as ``(group, instance, value)`` triples
+    (skips consumed silently, batches unpacked — the same output an online
+    merger hands to the application).  ``on_deliver`` is additionally invoked
+    per delivery when given.
+    """
+    if not streams:
+        raise ValueError("replay needs at least one group stream")
+    deliveries: List[Tuple[int, int, ProposalValue]] = []
+    callback = on_deliver
+
+    def collect(group: int, instance: int, value: ProposalValue) -> None:
+        deliveries.append((group, instance, value))
+        if callback is not None:
+            callback(group, instance, value)
+
+    merger = DeterministicMerger(
+        sorted(streams), messages_per_round=messages_per_round, on_deliver=collect
+    )
+    for group in sorted(streams):
+        for instance, value in streams[group]:
+            merger.offer(group, instance, value)
+    return deliveries
 
 
 class DeterministicMerger:

@@ -12,7 +12,7 @@ experiments, the MRP-Store replica, the dLog replica — override
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..net.ring import RingOverlay
 from ..paxos.messages import ProposalValue, TrimQuery, TrimReport
@@ -49,6 +49,7 @@ class MultiRingProcess(Actor):
         self._node_disks: Dict[int, Optional[Disk]] = {}
         self._merger: Optional[DeterministicMerger] = None
         self._delivered_per_group: Dict[int, int] = {}
+        self._ring_tap: Optional[Callable[[int, int, ProposalValue], None]] = None
 
     # ----------------------------------------------------------------- rings
     def join_ring(
@@ -115,8 +116,43 @@ class MultiRingProcess(Actor):
         return self._nodes[group_id].propose(payload, size_bytes)
 
     # -------------------------------------------------------------- delivery
+    def tap_ring_streams(
+        self, sink: Callable[[int, int, ProposalValue], None]
+    ) -> None:
+        """Observe every per-ring ordered instance *before* the merge.
+
+        ``sink(ring_id, instance, value)`` fires for each instance a ring
+        learner emits, skips included — exactly the stream
+        :func:`repro.multiring.merge.replay_streams` consumes.  Sharded
+        execution taps the per-ring streams here so a parent-side merge stage
+        can reconstruct a shared learner's delivery order; the tap survives
+        crash/restart (restarted learners keep feeding it).
+        """
+        self._ring_tap = sink
+
+    def record_ring_streams(
+        self, into: Optional[Dict[int, List[Tuple[int, ProposalValue]]]] = None
+    ) -> Dict[int, List[Tuple[int, ProposalValue]]]:
+        """Install a tap that records the per-ring streams into a dict.
+
+        Returns the mapping ``ring_id → [(instance, value), ...]`` (skips
+        included) that :func:`repro.multiring.merge.replay_streams` consumes;
+        it fills in as the simulation runs.  ``into`` lets several processes
+        share one sink.
+        """
+        streams = {} if into is None else into
+
+        def sink(ring_id: int, instance: int, value: ProposalValue) -> None:
+            streams.setdefault(ring_id, []).append((instance, value))
+
+        self.tap_ring_streams(sink)
+        return streams
+
     def _on_ring_ordered(self, ring_id: int, instance: int, value: ProposalValue) -> None:
         """Ordered per-ring output from a ring learner, fed to the merger."""
+        tap = self._ring_tap
+        if tap is not None:
+            tap(ring_id, instance, value)
         if self._merger is None:
             return
         self._merger.offer(ring_id, instance, value)

@@ -14,12 +14,26 @@ window length of the barrier synchronisation) as the minimum network latency
 between sites hosting different shards.  Deployments whose shards never talk
 to each other get ``lookahead = None`` — a single window, the embarrassingly
 parallel case.
+
+Shared-learner deployments
+--------------------------
+A process that is a **learner only** does not have to couple the rings it
+subscribes to: its deterministic merge is a pure function of the per-ring
+decision streams (:func:`repro.multiring.merge.replay_streams`), so the rings
+can run in separate shards that record their streams and a **merge stage** in
+the parent reconstructs the learner's delivery order afterwards.  Passing
+``shared_learners`` to :func:`plan_shards` opts those processes out of the
+component computation; the resulting plan lists them in
+:attr:`ShardPlan.merge_learners` together with the groups whose streams the
+merge stage must replay.  Coordinators and acceptors can never be shared this
+way — they *generate* ring traffic, so a shared one genuinely couples the
+rings.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..sim.topology import Topology
 from .group import GroupSubscriptions
@@ -123,6 +137,10 @@ class ShardPlan:
     actor_shard: Mapping[str, int]
     #: barrier window length; ``None`` = no cross-shard links, single window
     lookahead: Optional[float]
+    #: learner-only processes whose subscriptions span several shards, mapped
+    #: to the (sorted) groups a merge stage must replay for them; empty when
+    #: the plan needs no merge stage
+    merge_learners: Mapping[str, Tuple[int, ...]] = field(default_factory=dict)
 
     @property
     def shard_count(self) -> int:
@@ -147,6 +165,7 @@ def plan_shards(
     actor_sites: Optional[Mapping[str, str]] = None,
     topology: Optional[Topology] = None,
     subscriptions: Optional[GroupSubscriptions] = None,
+    shared_learners: Optional[Iterable[str]] = None,
 ) -> ShardPlan:
     """Build a deterministic shard plan for a multi-ring deployment.
 
@@ -169,23 +188,39 @@ def plan_shards(
         Optional learner subscriptions to validate against: every learner's
         subscribed groups must land in one shard (they do by construction of
         the components when ``ring_members`` includes learners; passing the
-        subscriptions catches callers that did not).
+        subscriptions catches callers that did not).  Subscriptions held by
+        ``shared_learners`` are exempt — the merge stage reconstructs them.
+    shared_learners:
+        Learner-*only* processes allowed to span shards.  They are excluded
+        from the component computation, so rings coupled solely by a shared
+        learner land in separate shards; the plan lists each such learner in
+        :attr:`ShardPlan.merge_learners` with the groups whose recorded
+        streams the merge stage must replay
+        (:func:`repro.multiring.merge.replay_streams`).
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
     ring_members = {ring: list(members) for ring, members in ring_members.items()}
-    components = ring_components(ring_members)
+    shared: FrozenSet[str] = frozenset(shared_learners or ())
+    coupling_members = {
+        ring: [name for name in members if name not in shared]
+        for ring, members in ring_members.items()
+    }
+    components = ring_components(coupling_members)
     shard_count = min(workers, len(components))
 
     # Greedy balance: biggest components first, always onto the lightest
-    # shard (ties to the lowest shard id) — deterministic for a fixed input.
+    # shard (ties to the lowest shard id).  Candidates are ordered by
+    # (-weight, canonical component name) — the full sorted ring-id tuple —
+    # so the plan is a pure function of the input and can never depend on
+    # set/dict iteration order.
     weights = {
         tuple(comp): sum(len(ring_members[ring]) for ring in comp)
         for comp in components
     }
     order = sorted(
         (tuple(comp) for comp in components),
-        key=lambda comp: (-weights[comp], comp[0]),
+        key=lambda comp: (-weights[comp], comp),
     )
     loads = [0] * shard_count
     shards: List[List[int]] = [[] for _ in range(shard_count)]
@@ -199,15 +234,37 @@ def plan_shards(
     for shard_id, rings in enumerate(shard_tuples):
         for ring in rings:
             for name in ring_members[ring]:
-                actor_shard[name] = shard_id
+                if name not in shared:
+                    actor_shard[name] = shard_id
+
+    ring_shard = {
+        ring: shard_id
+        for shard_id, rings in enumerate(shard_tuples)
+        for ring in rings
+    }
+    merge_learners: Dict[str, Tuple[int, ...]] = {}
+    for name in sorted(shared):
+        groups = sorted(
+            ring for ring, members in ring_members.items() if name in members
+        )
+        owners = {ring_shard[ring] for ring in groups if ring in ring_shard}
+        if len(owners) > 1:
+            merge_learners[name] = tuple(groups)
+        elif owners:
+            # All of this learner's rings landed in one shard after all: it
+            # can simply live there, no merge stage needed.
+            actor_shard[name] = owners.pop()
 
     if subscriptions is not None:
-        ring_shard = {
-            ring: shard_id
-            for shard_id, rings in enumerate(shard_tuples)
-            for ring in rings
-        }
-        for component in subscriptions.co_subscription_components():
+        effective = subscriptions
+        if shared:
+            effective = GroupSubscriptions()
+            for process in subscriptions.processes():
+                if process in shared:
+                    continue
+                for group in subscriptions.groups_of(process):
+                    effective.subscribe(process, group)
+        for component in effective.co_subscription_components():
             owners = {
                 ring_shard[group] for group in component if group in ring_shard
             }
@@ -215,7 +272,8 @@ def plan_shards(
                 raise ValueError(
                     f"groups {component} are merged by a common subscriber but "
                     f"the plan spreads them over shards {sorted(owners)}; "
-                    "co-subscribed groups must be co-located"
+                    "co-subscribed groups must be co-located (or the subscriber "
+                    "declared in shared_learners for merge-stage execution)"
                 )
 
     lookahead: Optional[float] = None
@@ -232,4 +290,9 @@ def plan_shards(
                     )
                 seen[site] = shard
         lookahead = conservative_lookahead(topology, actor_sites, actor_shard)
-    return ShardPlan(shards=shard_tuples, actor_shard=actor_shard, lookahead=lookahead)
+    return ShardPlan(
+        shards=shard_tuples,
+        actor_shard=actor_shard,
+        lookahead=lookahead,
+        merge_learners=merge_learners,
+    )

@@ -44,6 +44,13 @@ class _Skip:
     def __repr__(self) -> str:
         return "<SKIP>"
 
+    def __reduce__(self):
+        # Skips are compared by identity (``payload is SKIP``) throughout the
+        # ordering layer; pickling by reference keeps that true for recorded
+        # decision streams shipped across worker-process boundaries by the
+        # sharded merge stage.
+        return "SKIP"
+
 
 #: The null value proposed in skipped consensus instances (Section 4).
 SKIP = _Skip()

@@ -306,6 +306,21 @@ class Network:
         self._outbox = []
         return out
 
+    @property
+    def outbox_frontier(self) -> Optional[float]:
+        """Earliest delivery time queued in the gateway outbox (``None`` if empty).
+
+        Reported to the parallel engine at barriers as part of the event
+        horizon: a shard that still holds undrained outbound messages must not
+        let the adaptive window planner skip past their delivery times (the
+        engine's own stepping drains the outbox before reporting, so this is
+        only load-bearing for custom harness orderings).
+        """
+        out = self._outbox
+        if not out:
+            return None
+        return min(record[0] for record in out)
+
     def inject_remote(self, records: Sequence[RemoteMessage]) -> None:
         """Schedule cross-shard messages handed over at a window barrier.
 

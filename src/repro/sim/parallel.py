@@ -5,16 +5,32 @@ adds the classic conservative parallel-discrete-event recipe on top of it:
 a deployment whose rings are *independent* (no process participates in rings
 of two different shards) is partitioned into **shards**, each shard runs its
 own fast-path :class:`~repro.sim.kernel.Simulator` in a ``multiprocessing``
-worker, and shards synchronise at **time-window barriers**.
+worker, and shards synchronise at **barriers**.
 
 Correctness argument
 --------------------
-* The window length is the **lookahead**: the minimum cross-shard link
-  latency.  A message sent during window ``[t, t+L)`` can only be delivered
-  at ``>= t+L`` (propagation alone exceeds the window), so exchanging
-  outboxes at the barrier and injecting them before the next window starts
-  never delivers a message late.  :meth:`Network.inject_remote` raises on a
-  violation instead of reordering history.
+* The **lookahead** is the minimum cross-shard link latency.  A message sent
+  at simulated time ``s`` can only be delivered at ``>= s + lookahead``
+  (propagation alone exceeds the window), so exchanging outboxes at the
+  barrier and injecting them before the next window starts never delivers a
+  message late, provided no window is longer than the lookahead *measured
+  from the earliest event that could send anything*.
+  :meth:`Network.inject_remote` raises on a violation instead of reordering
+  history.
+* **Fixed horizons** (``horizon="fixed"``) step every shard by exactly one
+  lookahead per barrier — the textbook protocol, one barrier per window
+  whether or not anyone has work.
+* **Adaptive event horizons** (``horizon="adaptive"``, the default) exchange
+  each shard's :meth:`~repro.sim.kernel.Simulator.next_event_time` (plus its
+  gateway outbox frontier) at every barrier.  The next window then ends at
+  ``min(next local event anywhere, next in-flight cross-shard arrival) +
+  lookahead``: nothing can execute — and therefore nothing can *send* —
+  before that minimum ``T``, so any message generated inside the window is
+  due at ``>= T + lookahead``, i.e. at or after the next barrier.  Idle and
+  bursty phases are skipped in one hop instead of being ground through
+  window by window; the event schedule itself is untouched, so delivery
+  order is bit-identical to the fixed protocol (and barrier counts are the
+  only observable difference — ``ParallelRunResult.windows`` records them).
 * Within a shard, event order is exactly the single-process order: the same
   kernel, the same named RNG streams (streams are derived per name from the
   experiment seed, so a shard draws the same sequences it would draw in a
@@ -25,14 +41,22 @@ Correctness argument
   break among simultaneous events — does not depend on the worker count.
 
 Consequently ``run_sharded(specs, workers=k)`` produces bit-identical
-per-shard results for every ``k``; ``workers=1`` executes the same windowed
-schedule sequentially in-process and is the reference "single-process
-engine" the differential tests compare against.  For deployments with **no**
-cross-shard traffic the result is additionally bit-identical to running the
-merged deployment on one shared simulator (see
+per-shard results for every ``k`` and either horizon mode; ``workers=1``
+executes the same windowed schedule sequentially in-process and is the
+reference "single-process engine" the differential tests compare against.
+For deployments with **no** cross-shard traffic the result is additionally
+bit-identical to running the merged deployment on one shared simulator (see
 ``tests/bench/test_parallel_differential.py``), provided network jitter is
 disabled — jitter draws come from one shared stream in a merged run and
 would otherwise interleave across shards.
+
+Deployments whose rings share **learners only** (the paper's Figure 6/7
+configurations: every replica subscribes to all rings) are sharded without
+the shared learner: each ring component runs in its own shard, records its
+per-ring decision stream, and a deterministic **merge stage**
+(:func:`repro.multiring.merge.replay_streams`) reconstructs the shared
+learner's round-robin delivery order in the parent — see
+:mod:`repro.multiring.sharding` and :mod:`repro.bench.parallel`.
 
 Usage sketch::
 
@@ -113,6 +137,24 @@ class ShardHarness:
         else:
             self.env.simulator.run_window(end)
 
+    def next_event_time(self) -> Optional[float]:
+        """This shard's event horizon, reported at every barrier.
+
+        The earliest pending work anywhere in the shard: the kernel's next
+        live event, or — for custom harnesses that have not drained their
+        gateway outbox yet — the earliest queued cross-shard delivery (the
+        outbox frontier).  ``None`` means the shard is fully drained.  The
+        adaptive barrier protocol takes the minimum over all shards (and all
+        in-flight cross-shard messages) to place the next window.
+        """
+        horizon = self.env.simulator.next_event_time()
+        network = self.env.network
+        if network is not None:
+            frontier = network.outbox_frontier
+            if frontier is not None and (horizon is None or frontier < horizon):
+                horizon = frontier
+        return horizon
+
     def drain_outbox(self) -> List[RemoteMessage]:
         """Cross-shard messages sent during the last window (send order)."""
         network = self.env.network
@@ -156,7 +198,7 @@ class ParallelRunResult:
     results: Dict[int, Any]
     #: wall-clock seconds of the whole run (build + windows + finalize)
     wall_clock: float
-    #: number of barrier windows executed
+    #: number of barrier windows executed (the barrier count)
     windows: int
     #: cross-shard messages exchanged at barriers
     cross_messages: int
@@ -164,11 +206,18 @@ class ParallelRunResult:
     events: Dict[int, int] = field(default_factory=dict)
     #: worker processes actually used (1 = in-process reference engine)
     workers: int = 1
+    #: barrier protocol used ("adaptive" or "fixed"; windowed runs only)
+    horizon: str = "adaptive"
 
     @property
     def total_events(self) -> int:
         """Events executed across every shard."""
         return sum(self.events.values())
+
+    @property
+    def barrier_count(self) -> int:
+        """Alias of :attr:`windows`, the number of barriers executed."""
+        return self.windows
 
 
 # ---------------------------------------------------------------------------
@@ -190,24 +239,31 @@ class _ShardSet:
         for sid, routes in routes_by_shard.items():
             self.harnesses[sid].set_remote_routes(routes)
 
-    def start(self) -> Dict[int, List[RemoteMessage]]:
-        """Start every shard; returns cross-shard messages sent at t=0."""
+    def start(self) -> Tuple[Dict[int, List[RemoteMessage]], Dict[int, Optional[float]]]:
+        """Start every shard; returns (t=0 cross-shard messages, horizons)."""
         outbound: Dict[int, List[RemoteMessage]] = {}
+        horizons: Dict[int, Optional[float]] = {}
         for sid in sorted(self.harnesses):
             harness = self.harnesses[sid]
             harness.start()
             out = harness.drain_outbox()
             if out:
                 outbound[sid] = out
-        return outbound
+            horizons[sid] = harness.next_event_time()
+        return outbound, horizons
 
     def run_window(
         self,
         end: Optional[float],
         inbound: Dict[int, List[RemoteMessage]],
-    ) -> Tuple[Dict[int, List[RemoteMessage]], Dict[int, int]]:
+    ) -> Tuple[
+        Dict[int, List[RemoteMessage]],
+        Dict[int, int],
+        Dict[int, Optional[float]],
+    ]:
         outbound: Dict[int, List[RemoteMessage]] = {}
         events: Dict[int, int] = {}
+        horizons: Dict[int, Optional[float]] = {}
         for sid in sorted(self.harnesses):
             harness = self.harnesses[sid]
             harness.inject(inbound.get(sid, ()))
@@ -216,7 +272,8 @@ class _ShardSet:
             if out:
                 outbound[sid] = out
             events[sid] = harness.processed_events
-        return outbound, events
+            horizons[sid] = harness.next_event_time()
+        return outbound, events, horizons
 
     def finalize(self) -> Dict[int, Any]:
         return {sid: h.finalize() for sid, h in self.harnesses.items()}
@@ -234,10 +291,13 @@ def _worker_main(conn, specs: Sequence[ShardSpec]) -> None:
                 shard_set.set_routes(command[1])
                 conn.send(("ok",))
             elif op == "start":
-                conn.send(("out", shard_set.start(), {}))
+                outbound, horizons = shard_set.start()
+                conn.send(("out", outbound, {}, horizons))
             elif op == "window":
-                outbound, events = shard_set.run_window(command[1], command[2])
-                conn.send(("out", outbound, events))
+                outbound, events, horizons = shard_set.run_window(
+                    command[1], command[2]
+                )
+                conn.send(("out", outbound, events, horizons))
             elif op == "finish":
                 conn.send(("result", shard_set.finalize()))
                 return
@@ -322,8 +382,9 @@ def run_sharded(
     workers: int = 1,
     lookahead: Optional[float] = None,
     mp_context: Optional[str] = None,
+    horizon: str = "adaptive",
 ) -> ParallelRunResult:
-    """Execute shards under conservative time-window synchronisation.
+    """Execute shards under conservative barrier synchronisation.
 
     Parameters
     ----------
@@ -339,7 +400,7 @@ def run_sharded(
         higher counts fork workers and assign shards round-robin.  Clamped to
         the shard count.
     lookahead:
-        Window length in simulated seconds — must not exceed the minimum
+        Safe window length in simulated seconds — must not exceed the minimum
         cross-shard message latency (see
         :func:`repro.multiring.sharding.plan_shards`, which computes it from
         the topology).  ``None`` means the shards exchange no messages and
@@ -347,11 +408,19 @@ def run_sharded(
     mp_context:
         ``multiprocessing`` start method; defaults to ``fork`` when
         available.
+    horizon:
+        Barrier protocol for windowed runs.  ``"adaptive"`` (default)
+        advances every barrier to the global event horizon —
+        ``min(next local event, next cross-shard arrival) + lookahead`` —
+        skipping idle stretches in one hop; ``"fixed"`` steps by exactly one
+        lookahead per barrier (the textbook protocol).  Both execute the
+        identical event schedule; only the barrier count differs.
 
     Returns
     -------
     ParallelRunResult
-        Per-shard ``finalize()`` results plus run accounting.
+        Per-shard ``finalize()`` results plus run accounting
+        (:attr:`ParallelRunResult.windows` is the barrier count).
     """
     specs = list(specs)
     if not specs:
@@ -359,6 +428,8 @@ def run_sharded(
     ids = [spec.shard_id for spec in specs]
     if len(set(ids)) != len(ids):
         raise ValueError(f"duplicate shard ids: {sorted(ids)}")
+    if horizon not in ("adaptive", "fixed"):
+        raise ValueError(f"horizon must be 'adaptive' or 'fixed', not {horizon!r}")
     if lookahead is not None:
         if lookahead <= 0:
             raise ValueError("lookahead must be positive")
@@ -368,10 +439,12 @@ def run_sharded(
 
     start = time.perf_counter()
     if workers == 1:
-        results, windows, cross, events = _run_inprocess(specs, until, lookahead)
+        results, windows, cross, events = _run_inprocess(
+            specs, until, lookahead, horizon
+        )
     else:
         results, windows, cross, events = _run_multiprocess(
-            specs, until, lookahead, workers, mp_context
+            specs, until, lookahead, horizon, workers, mp_context
         )
     wall = time.perf_counter() - start
     return ParallelRunResult(
@@ -381,18 +454,28 @@ def run_sharded(
         cross_messages=cross,
         events=events,
         workers=workers,
+        horizon=horizon,
     )
 
 
-def _window_plan(until: Optional[float], lookahead: Optional[float]):
-    """Yield successive window end times (a single ``until`` without lookahead)."""
-    if lookahead is None:
-        yield until
-        return
-    t = 0.0
-    while t < until:
-        t = min(t + lookahead, until)
-        yield t
+def _min_horizon(
+    horizons: Dict[int, Optional[float]],
+    inbound: Dict[int, List[RemoteMessage]],
+) -> Optional[float]:
+    """Earliest pending work anywhere: local events or in-flight arrivals.
+
+    ``None`` means the whole deployment is drained and nothing is in flight —
+    no event can ever fire again.
+    """
+    minimum: Optional[float] = None
+    for t in horizons.values():
+        if t is not None and (minimum is None or t < minimum):
+            minimum = t
+    for records in inbound.values():
+        for record in records:
+            if minimum is None or record[0] < minimum:
+                minimum = record[0]
+    return minimum
 
 
 def _check_unwindowed_leftovers(
@@ -419,24 +502,118 @@ def _check_unwindowed_leftovers(
         )
 
 
-def _run_inprocess(specs, until, lookahead):
+def _execute_rounds(
+    transport,
+    owner: Dict[str, int],
+    until: Optional[float],
+    lookahead: Optional[float],
+    horizon: str,
+) -> Tuple[int, int, Dict[int, int]]:
+    """Drive the barrier protocol over an abstract shard transport.
+
+    ``transport`` provides ``start() -> (outbound, horizons)`` and
+    ``window(end, inbound) -> (outbound, events, horizons)``; the in-process
+    and multiprocessing engines differ only in how those rounds are executed,
+    so the barrier planning — and therefore the window schedule — is shared
+    verbatim between them (a prerequisite for worker-count invariance).
+    """
+    outbound, horizons = transport.start()
+    inbound, cross = _route_outbound(outbound, owner)
+    windows = 0
+    events: Dict[int, int] = {}
+
+    if lookahead is None:
+        # Single window: the embarrassingly parallel case (until may be None).
+        outbound, events, horizons = transport.window(until, inbound)
+        inbound, moved = _route_outbound(outbound, owner)
+        cross += moved
+        windows = 1
+        _check_unwindowed_leftovers(inbound, lookahead)
+        return windows, cross, events
+
+    now = 0.0  # every shard's kernel starts at t=0 and lands exactly on `now`
+    while now < until:
+        if horizon == "fixed":
+            end = min(now + lookahead, until)
+        else:
+            frontier = _min_horizon(horizons, inbound)
+            if frontier is None:
+                # Nothing pending anywhere: land every clock on the horizon.
+                end = until
+            else:
+                # Nothing can execute — and therefore nothing can send —
+                # before `frontier`, so a window reaching frontier+lookahead
+                # is exactly as safe as a fixed window of one lookahead.
+                end = min(max(frontier, now) + lookahead, until)
+        outbound, events, horizons = transport.window(end, inbound)
+        inbound, moved = _route_outbound(outbound, owner)
+        cross += moved
+        windows += 1
+        now = end
+    return windows, cross, events
+
+
+class _InProcessTransport:
+    """Round executor running every shard sequentially in this process."""
+
+    def __init__(self, shard_set: _ShardSet) -> None:
+        self._shards = shard_set
+
+    def start(self):
+        return self._shards.start()
+
+    def window(self, end, inbound):
+        return self._shards.run_window(end, inbound)
+
+
+def _run_inprocess(specs, until, lookahead, horizon):
     shard_set = _ShardSet(specs)
     sites = shard_set.actor_sites()
     owner, routes = _build_routing(sites, require_unique=lookahead is not None)
     shard_set.set_routes(routes)
-    inbound, cross = _route_outbound(shard_set.start(), owner)
-    windows = 0
-    events: Dict[int, int] = {}
-    for end in _window_plan(until, lookahead):
-        outbound, events = shard_set.run_window(end, inbound)
-        inbound, moved = _route_outbound(outbound, owner)
-        cross += moved
-        windows += 1
-    _check_unwindowed_leftovers(inbound, lookahead)
+    windows, cross, events = _execute_rounds(
+        _InProcessTransport(shard_set), owner, until, lookahead, horizon
+    )
     return shard_set.finalize(), windows, cross, events
 
 
-def _run_multiprocess(specs, until, lookahead, workers, mp_context):
+class _PipeTransport:
+    """Round executor broadcasting barrier rounds to worker processes."""
+
+    def __init__(self, pipes, shard_worker: Dict[int, int], recv) -> None:
+        self._pipes = pipes
+        self._shard_worker = shard_worker
+        self._recv = recv
+
+    def start(self):
+        outbound: Dict[int, List[RemoteMessage]] = {}
+        horizons: Dict[int, Optional[float]] = {}
+        for conn in self._pipes:
+            conn.send(("start",))
+        for conn in self._pipes:
+            _, worker_out, _, worker_horizons = self._recv(conn)
+            outbound.update(worker_out)
+            horizons.update(worker_horizons)
+        return outbound, horizons
+
+    def window(self, end, inbound):
+        for widx, conn in enumerate(self._pipes):
+            conn.send(("window", end, {
+                sid: msgs for sid, msgs in inbound.items()
+                if self._shard_worker[sid] == widx
+            }))
+        outbound: Dict[int, List[RemoteMessage]] = {}
+        events: Dict[int, int] = {}
+        horizons: Dict[int, Optional[float]] = {}
+        for conn in self._pipes:
+            _, worker_out, worker_events, worker_horizons = self._recv(conn)
+            outbound.update(worker_out)
+            events.update(worker_events)
+            horizons.update(worker_horizons)
+        return outbound, events, horizons
+
+
+def _run_multiprocess(specs, until, lookahead, horizon, workers, mp_context):
     if mp_context is None:
         methods = multiprocessing.get_all_start_methods()
         mp_context = "fork" if "fork" in methods else methods[0]
@@ -480,30 +657,10 @@ def _run_multiprocess(specs, until, lookahead, workers, mp_context):
         for conn in pipes:
             recv(conn)
 
-        start_outbound: Dict[int, List[RemoteMessage]] = {}
-        for conn in pipes:
-            conn.send(("start",))
-        for conn in pipes:
-            _, worker_out, _ = recv(conn)
-            start_outbound.update(worker_out)
-        inbound, cross = _route_outbound(start_outbound, owner)
-        windows = 0
-        events: Dict[int, int] = {}
-        for end in _window_plan(until, lookahead):
-            for widx, conn in enumerate(pipes):
-                conn.send(("window", end, {
-                    sid: msgs for sid, msgs in inbound.items()
-                    if shard_worker[sid] == widx
-                }))
-            outbound: Dict[int, List[RemoteMessage]] = {}
-            for conn in pipes:
-                _, worker_out, worker_events = recv(conn)
-                outbound.update(worker_out)
-                events.update(worker_events)
-            inbound, moved = _route_outbound(outbound, owner)
-            cross += moved
-            windows += 1
-        _check_unwindowed_leftovers(inbound, lookahead)
+        transport = _PipeTransport(pipes, shard_worker, recv)
+        windows, cross, events = _execute_rounds(
+            transport, owner, until, lookahead, horizon
+        )
 
         results: Dict[int, Any] = {}
         for conn in pipes:

@@ -18,7 +18,7 @@ Two comparisons, from strongest to broadest:
 
 from __future__ import annotations
 
-from repro.bench.parallel import run_fig6_sharded
+from repro.bench.parallel import run_fig6_sharded, run_fig7_sharded
 from repro.core import AtomicMulticast, MultiRingConfig
 from repro.multiring import MultiRingProcess
 from repro.sim import ShardHarness, ShardSpec, Topology, run_sharded
@@ -148,3 +148,62 @@ def test_fig6_sharded_seed_differential():
     deliveries = single.series["deliveries"]
     assert set(deliveries) == {0, 1}
     assert all(sequences["dlog-replica0"] for sequences in deliveries.values())
+
+
+def test_fig6_original_configuration_sharded_differential():
+    """Figure 6's *original* deployment (shared learner + common ring) shards.
+
+    One shard per log ring plus the common-ring shard; the merge stage
+    reconstructs the shared learner's round-robin delivery order from the
+    recorded per-ring decision streams.  The complete merged sequence, every
+    per-ring stream and every measured rate must be bit-identical between
+    ``workers=1`` (the single-process reference engine) and ``workers=2``.
+    """
+    kwargs = dict(
+        warmup=0.2, duration=0.6, record_deliveries=True, configuration="shared"
+    )
+    single = run_fig6_sharded(2, workers=1, **kwargs)
+    sharded = run_fig6_sharded(2, workers=2, **kwargs)
+    assert single.series["merged_deliveries"] == sharded.series["merged_deliveries"]
+    assert single.series["ring_streams"] == sharded.series["ring_streams"]
+    assert single.series["deliveries"] == sharded.series["deliveries"]
+    assert single.metrics["aggregate_ops"] == sharded.metrics["aggregate_ops"]
+    assert single.metrics["events_total"] == sharded.metrics["events_total"]
+    # The deployment really is the original shape: both log rings plus the
+    # rate-leveled common ring feed the merge, and the merged order
+    # interleaves the log rings' appends.
+    assert set(single.series["ring_streams"]) == {0, 1, 99}
+    assert single.series["ring_streams"][99], "common ring recorded no stream"
+    merged = single.series["merged_deliveries"]["dlog-replica0"]
+    assert merged, "merge stage delivered nothing"
+    assert {group for group, _, _ in merged} == {0, 1}  # common ring: skips only
+
+
+def test_fig7_original_configuration_sharded_differential():
+    """Figure 7's *original* deployment (partition rings + global ring) shards.
+
+    One shard per region plus the global-ring shard (dedicated global
+    acceptors, so the rings share learners only); the merge stage
+    reconstructs each replica's round-robin order over its partition ring
+    and the global ring.  Bit-identical between ``workers=1`` and
+    ``workers=2`` on the complete merged sequences and streams.
+    """
+    kwargs = dict(
+        warmup=0.3, duration=0.7, record_deliveries=True, configuration="shared"
+    )
+    single = run_fig7_sharded(2, workers=1, **kwargs)
+    sharded = run_fig7_sharded(2, workers=2, **kwargs)
+    assert single.series["merged_deliveries"] == sharded.series["merged_deliveries"]
+    assert single.series["ring_streams"] == sharded.series["ring_streams"]
+    assert single.series["deliveries"] == sharded.series["deliveries"]
+    assert single.metrics["aggregate_ops"] == sharded.metrics["aggregate_ops"]
+    assert single.metrics["events_total"] == sharded.metrics["events_total"]
+    assert set(single.series["ring_streams"]) == {0, 1, 50}
+    assert single.series["ring_streams"][50], "global ring recorded no stream"
+    merged = single.series["merged_deliveries"]
+    assert set(merged) == {"kv0-replica0", "kv1-replica0"}
+    for group, sequence in enumerate([merged["kv0-replica0"], merged["kv1-replica0"]]):
+        assert sequence, "merge stage delivered nothing"
+        # Each replica's application deliveries come from its own partition
+        # (the global ring carries rate-leveled skips only).
+        assert {g for g, _, _ in sequence} == {group}

@@ -1,9 +1,12 @@
 """Sharded execution of chaos scenarios (`--workers`): eligibility and
 determinism.
 
-Scenarios whose rings form process-disjoint components (zero cross-ring
-traffic) opt into sharded execution; everything else must fall back to the
-single-process runner with an explicit marker in its stats.
+Scenarios whose rings form components disjoint in their traffic-generating
+members (proposers/acceptors) opt into sharded execution — including the
+shared-learner draws, where a learner-only subscriber spans every ring and a
+merge stage reconstructs its cross-component delivery order.  Everything
+else must fall back to the single-process runner with an explicit marker in
+its stats.
 """
 
 from __future__ import annotations
@@ -15,6 +18,7 @@ from repro.chaos.scenario import (
     generate_spec,
     run_scenario,
     shardable_components,
+    shared_merge_learners,
 )
 
 #: Scanned once; the generator guarantees a fraction of disjoint multi-ring
@@ -22,13 +26,20 @@ from repro.chaos.scenario import (
 SEED_RANGE = range(0, 120)
 
 
-def _eligible_seeds(count: int):
+def _eligible_seeds(count: int, require_merge_learners=None):
     found = []
     for seed in SEED_RANGE:
-        if shardable_components(generate_spec(seed)):
-            found.append(seed)
-            if len(found) == count:
-                break
+        spec = generate_spec(seed)
+        components = shardable_components(spec)
+        if not components:
+            continue
+        if require_merge_learners is not None:
+            has_shared = bool(shared_merge_learners(spec, components))
+            if has_shared != require_merge_learners:
+                continue
+        found.append(seed)
+        if len(found) == count:
+            break
     return found
 
 
@@ -38,15 +49,33 @@ def test_generator_produces_shardable_scenarios():
     for seed in seeds:
         components = shardable_components(generate_spec(seed))
         assert len(components) >= 2
-        # Components really are process-disjoint.
+        # Components are disjoint in their traffic-generating members; only
+        # learner-only subscribers (handled by the merge stage) may span.
         spec = generate_spec(seed)
         members = [
-            {m[0] for rid in comp for m in spec["rings"][rid]}
+            {m[0] for rid in comp for m in spec["rings"][rid] if m[1] != "l"}
             for comp in components
         ]
         for i, a in enumerate(members):
             for b in members[i + 1:]:
                 assert not (a & b)
+
+
+def test_generator_produces_shared_learner_draws():
+    """Some draws couple process-disjoint rings through one shared learner."""
+    seeds = _eligible_seeds(2, require_merge_learners=True)
+    assert len(seeds) == 2, "expected shared-learner scenarios in the seed range"
+    for seed in seeds:
+        spec = generate_spec(seed)
+        components = shardable_components(spec)
+        learners = shared_merge_learners(spec, components)
+        assert learners
+        for name in learners:
+            subscribed = [
+                rid for rid, members in spec["rings"].items()
+                if any(m[0] == name and "l" in m[1] for m in members)
+            ]
+            assert len(subscribed) >= 2, "shared learner must span rings"
 
 
 def test_site_faults_disqualify():
@@ -83,6 +112,76 @@ def test_run_scenario_opts_in_and_reports_shards():
     sharded = result.stats["sharded"]
     assert sharded["workers"] == 2
     assert len(sharded["shards"]) >= 2
+
+
+def test_shared_learner_merge_stage_identical_across_workers():
+    """Shared-learner draws shard: merged digests match across worker counts.
+
+    The shared learner is mirrored into every shard; the merge stage replays
+    the recorded per-ring streams into its cross-component delivery digest,
+    which must be byte-identical between the in-process engine and two
+    workers (and non-empty when the learner was untouched by faults).
+    """
+    def untouched_learners(spec, components):
+        touched = {
+            event.get("params", {}).get("process")
+            for event in spec["schedule"]
+            if event.get("action")
+            in ("crash", "restart", "remove_from_ring", "add_to_ring")
+        }
+        return [
+            name
+            for name in shared_merge_learners(spec, components)
+            if name not in touched
+        ]
+
+    # Prefer a seed whose shared learner no fault touches, so the merged
+    # digest is actually produced and asserted on (fault-touched learners
+    # legitimately keep only their per-shard partial digests).
+    seed = spec = components = None
+    for candidate in _eligible_seeds(10, require_merge_learners=True):
+        candidate_spec = generate_spec(candidate)
+        candidate_components = shardable_components(candidate_spec)
+        if untouched_learners(candidate_spec, candidate_components):
+            seed, spec, components = candidate, candidate_spec, candidate_components
+            break
+    assert spec is not None, "no untouched shared-learner seed in the range"
+    learners = shared_merge_learners(spec, components)
+    v1, s1, t1, d1 = _run_amcast_sharded(spec, components, workers=1)
+    v2, s2, t2, d2 = _run_amcast_sharded(spec, components, workers=2)
+    assert [(v.prop, v.detail) for v in v1] == [(v.prop, v.detail) for v in v2]
+    assert d1 == d2
+    assert t1 == t2
+    assert s1["sharded"]["merge_learners"] == learners
+    for name in untouched_learners(spec, components):
+        assert d1.get(name), f"merge stage produced no digest for {name}"
+        # The merged digest spans every component the learner subscribes to
+        # (skips excluded from the digest, so only components whose rings
+        # carried application messages appear).
+        groups = {group for group, _, _ in d1[name]}
+        assert groups, "merged digest delivered nothing"
+
+
+def test_smoke_matrix_shared_learner_verdicts_match_single_process():
+    """Oracle verdicts at --workers 2 equal the single-process verdicts.
+
+    The smoke slice: every shared-learner-eligible seed in the scanned range
+    runs through ``run_scenario`` both ways; the verdict (ok + violation
+    list) must be identical.
+    """
+    seeds = _eligible_seeds(2, require_merge_learners=True)
+    assert seeds, "expected shared-learner seeds in the smoke range"
+    for seed in seeds:
+        single = run_scenario(seed, workers=1)
+        sharded = run_scenario(seed, workers=2)
+        assert single.ok == sharded.ok, (
+            f"seed {seed}: verdicts diverge ({single.violations} vs "
+            f"{sharded.violations})"
+        )
+        assert [(v.prop, v.detail) for v in single.violations] == [
+            (v.prop, v.detail) for v in sharded.violations
+        ]
+        assert sharded.stats["sharded"]["merge_learners"]
 
 
 def test_run_scenario_falls_back_for_ineligible_scenarios():

@@ -82,6 +82,123 @@ def test_plan_is_deterministic():
     assert plans[0].shards == plans[1].shards == plans[2].shards
 
 
+def test_greedy_tie_break_is_canonical():
+    """Equal-weight components are placed by canonical name, not dict order.
+
+    Regression: every insertion order of ``ring_members`` must yield the same
+    plan, and ties must resolve by the components' sorted ring-id tuples —
+    never by set/dict iteration order.
+    """
+    items = [
+        (5, ["e1", "e2"]),
+        (1, ["a1", "a2"]),
+        (7, ["g1", "g2"]),
+        (3, ["c1", "c2"]),
+    ]
+    reference = plan_shards(dict(items), workers=2)
+    for variant in (dict(reversed(items)), dict(sorted(items)), dict(items[2:] + items[:2])):
+        assert plan_shards(variant, workers=2).shards == reference.shards
+    # Explicit expectation: ascending canonical order 1, 3, 5, 7 alternates
+    # onto the lightest shard (ties to the lowest shard id).
+    assert reference.shards == ((1, 5), (3, 7))
+
+
+# ---------------------------------------------------------------------------
+# Shared-learner (merge-stage) planning
+# ---------------------------------------------------------------------------
+
+def test_shared_learner_splits_components_and_records_merge():
+    """A learner-only process shared by every ring no longer couples them."""
+    rings = {
+        0: ["a0", "a1", "shared"],
+        1: ["b0", "b1", "shared"],
+        99: ["c0", "shared"],
+    }
+    # Without the declaration the shared subscriber fuses everything.
+    assert plan_shards(rings, workers=3).shard_count == 1
+    plan = plan_shards(rings, workers=3, shared_learners=["shared"])
+    assert plan.shard_count == 3
+    assert plan.merge_learners == {"shared": (0, 1, 99)}
+    assert "shared" not in plan.actor_shard
+    assert plan.actor_shard["a0"] != plan.actor_shard["b0"]
+
+
+def test_shared_learner_subscriptions_exempt_from_co_location():
+    subs = GroupSubscriptions()
+    subs.subscribe("shared", 0)
+    subs.subscribe("shared", 1)
+    plan = plan_shards(
+        {0: ["a", "shared"], 1: ["b", "shared"]},
+        workers=2,
+        subscriptions=subs,
+        shared_learners=["shared"],
+    )
+    assert plan.shard_count == 2
+    assert plan.merge_learners == {"shared": (0, 1)}
+    # A *second*, undeclared cross-shard subscriber still rejects the plan.
+    subs.subscribe("observer", 0)
+    subs.subscribe("observer", 1)
+    with pytest.raises(ValueError, match="co-subscribed"):
+        plan_shards(
+            {0: ["a", "shared"], 1: ["b", "shared"]},
+            workers=2,
+            subscriptions=subs,
+            shared_learners=["shared"],
+        )
+
+
+def test_mrpstore_dedicated_global_ring_shares_learners_only():
+    """The fig7 original deployment becomes plannable with dedicated global
+    acceptors: partition rings and the global ring then share replicas
+    (learners) only, so `shared_learners` splits them with a merge stage."""
+    from repro.core import AtomicMulticast
+    from repro.core.config import global_config
+    from repro.kvstore.service import MRPStoreService
+    from repro.sim.topology import EC2_REGIONS, ec2_global
+
+    regions = list(EC2_REGIONS[:2])
+    config = global_config()
+    system = AtomicMulticast(topology=ec2_global(regions), config=config, seed=1)
+    service = MRPStoreService(
+        system,
+        partition_groups=[0, 1],
+        acceptors_per_partition=3,
+        replicas_per_partition=1,
+        site_for_partition={0: regions[0], 1: regions[1]},
+        global_ring_id=50,
+        dedicated_global_acceptors=True,
+        config=config,
+    )
+    assert [f.name for f in service.global_frontends] == ["kvg-node0", "kvg-node1"]
+    replicas = [r.name for r in service.all_replicas()]
+    ring_members = {
+        group: [f.name for f in service.frontends[group]]
+        + [r.name for r in service.replicas[group]]
+        for group in (0, 1)
+    }
+    ring_members[50] = [f.name for f in service.global_frontends] + replicas
+    # Without the merge-stage declaration the global ring fuses everything.
+    assert plan_shards(ring_members, workers=3).shard_count == 1
+    plan = plan_shards(ring_members, workers=3, shared_learners=replicas)
+    assert plan.shard_count == 3
+    assert plan.merge_learners == {
+        "kv0-replica0": (0, 50),
+        "kv1-replica0": (1, 50),
+    }
+
+
+def test_shared_learner_whose_rings_co_locate_needs_no_merge():
+    # Rings 0 and 1 share acceptor "a": one component, so the learner simply
+    # lives in that shard and the plan records no merge stage.
+    plan = plan_shards(
+        {0: ["a", "x", "shared"], 1: ["a", "y", "shared"], 2: ["z"]},
+        workers=2,
+        shared_learners=["shared"],
+    )
+    assert plan.merge_learners == {}
+    assert plan.actor_shard["shared"] == plan.shard_of_ring(0) == plan.shard_of_ring(1)
+
+
 def test_lookahead_from_topology():
     topo = wan_topology()
     rings = {0: ["pa"], 1: ["pb"], 2: ["pc"]}

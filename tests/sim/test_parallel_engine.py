@@ -134,7 +134,38 @@ def test_sharded_matches_merged_single_simulator():
     assert run.results[0] == reference[0]
     assert run.results[1] == reference[1]
     assert run.cross_messages == ROUNDS + 1
+
+
+def test_fixed_horizon_grinds_through_every_window():
+    """The textbook protocol barriers once per lookahead, work or not."""
+    reference = run_merged_pingpong(ROUNDS)
+    run = run_sharded(
+        specs(), until=HORIZON, workers=1, lookahead=LINK_LATENCY, horizon="fixed"
+    )
+    assert run.results[0] == reference[0]
+    assert run.results[1] == reference[1]
     assert run.windows >= int(HORIZON / LINK_LATENCY)
+
+
+def test_adaptive_horizon_cuts_barriers_not_results():
+    """Event-horizon windows skip idle stretches; the schedule is untouched.
+
+    The ping-pong goes quiet after ~0.6s of a 2.0s horizon: the adaptive
+    protocol barriers roughly once per message plus one final hop to the
+    horizon, while the fixed protocol grinds through every lookahead window.
+    """
+    fixed = run_sharded(
+        specs(), until=HORIZON, workers=1, lookahead=LINK_LATENCY, horizon="fixed"
+    )
+    adaptive = run_sharded(
+        specs(), until=HORIZON, workers=1, lookahead=LINK_LATENCY, horizon="adaptive"
+    )
+    assert adaptive.results == fixed.results
+    assert adaptive.events == fixed.events
+    assert adaptive.cross_messages == fixed.cross_messages
+    assert adaptive.windows < fixed.windows
+    assert adaptive.horizon == "adaptive"
+    assert fixed.horizon == "fixed"
 
 
 def test_workers_do_not_change_results():
@@ -145,6 +176,13 @@ def test_workers_do_not_change_results():
     assert parallel.results == sequential.results
     assert parallel.cross_messages == sequential.cross_messages
     assert parallel.events == sequential.events
+    assert parallel.windows == sequential.windows
+
+
+def test_invalid_horizon_mode_rejected():
+    with pytest.raises(ValueError, match="horizon"):
+        run_sharded(specs(), until=HORIZON, workers=1,
+                    lookahead=LINK_LATENCY, horizon="eager")
 
 
 def test_start_time_sends_cross_the_barrier():
@@ -222,6 +260,165 @@ def test_gateway_send_to_undeclared_actor_still_drops():
     actor.send("nobody", {"n": 0, "size_bytes": 64})
     assert network.stats.dropped == 1
     assert network.drain_outbox() == []
+
+
+# ---------------------------------------------------------------------------
+# Window-boundary edges (binary-exact timing: every quantity is a multiple of
+# 2^-8 seconds, so sums and the delivery arithmetic are exact — equality with
+# barrier timestamps is meaningful, not a rounding accident)
+# ---------------------------------------------------------------------------
+
+EXACT_LATENCY = 1 / 64            # lookahead == the (only) link latency
+EXACT_TX = 1 / 256                # (128 default + 66 header) bytes * 8 / bw
+EXACT_BANDWIDTH = 194 * 8 * 256   # makes one default-size message transmit in 2^-8 s
+EXACT_UNTIL = 16 / 64
+
+
+def exact_topology() -> Topology:
+    topo = Topology(local_latency=1 / 1024, local_bandwidth_bps=10e9)
+    topo.add_site("s0")
+    topo.add_site("s1")
+    topo.set_link(
+        "s0", "s1", one_way_latency=EXACT_LATENCY, bandwidth_bps=EXACT_BANDWIDTH
+    )
+    return topo
+
+
+class ScheduledSender(Actor):
+    """Sends one fixed-size message to a remote peer at each scheduled time."""
+
+    def __init__(self, env, name, site, peer, send_times):
+        super().__init__(env, name, site)
+        self.peer = peer
+        self.send_times = list(send_times)
+        self.log = []
+
+    def on_start(self):
+        for at in self.send_times:
+            self.env.simulator.schedule_at(at, self._fire, at)
+
+    def _fire(self, at):
+        self.send(self.peer, {"sent_at": at, "size_bytes": 64})
+
+    def on_message(self, sender, message):
+        self.log.append((self.now, message["sent_at"]))
+
+
+class SenderHarness(ShardHarness):
+    def __init__(self, env, actor):
+        super().__init__(env)
+        self.actor = actor
+
+    def start(self):
+        self.actor.on_start()
+
+    def finalize(self):
+        return self.actor.log
+
+
+def build_exact_shard(payload):
+    index, send_times = payload
+    env = Environment(seed=11)
+    Network(env, exact_topology(), jitter_fraction=0.0)
+    actor = ScheduledSender(
+        env, f"x{index}", f"s{index}", f"x{1 - index}", send_times
+    )
+    return SenderHarness(env, actor)
+
+
+def run_exact_merged(times_a, times_b):
+    env = Environment(seed=11)
+    Network(env, exact_topology(), jitter_fraction=0.0)
+    a = ScheduledSender(env, "x0", "s0", "x1", times_a)
+    b = ScheduledSender(env, "x1", "s1", "x0", times_b)
+    a.on_start()
+    b.on_start()
+    env.run(until=EXACT_UNTIL)
+    return {0: a.log, 1: b.log}
+
+
+def run_exact_sharded(times_a, times_b, **kwargs):
+    return run_sharded(
+        [
+            ShardSpec(0, build_exact_shard, (0, times_a)),
+            ShardSpec(1, build_exact_shard, (1, times_b)),
+        ],
+        until=EXACT_UNTIL,
+        lookahead=EXACT_LATENCY,
+        **kwargs,
+    )
+
+
+def test_cross_shard_message_due_exactly_at_barrier_timestamp():
+    """A delivery landing exactly on a barrier is delivered once, on time.
+
+    Sent at t=3/256: transmission 1/256 + propagation 4/256 puts the delivery
+    at t=8/256 = 2 lookaheads — bit-equal to the second barrier timestamp.
+    The engine must deliver it in the window *after* that barrier at its
+    exact computed time, identically for every worker count and horizon
+    mode, and identically to the merged single-simulator run.
+    """
+    send = [3 / 256]
+    reference = run_exact_merged(send, [])
+    assert reference[1] == [(8 / 256, 3 / 256)]  # exactly the 2nd barrier
+    for horizon in ("fixed", "adaptive"):
+        for workers in (1, 2):
+            run = run_exact_sharded(send, [], workers=workers, horizon=horizon)
+            assert run.results[0] == reference[0], (horizon, workers)
+            assert run.results[1] == reference[1], (horizon, workers)
+
+
+def test_send_event_exactly_at_barrier_with_minimum_lookahead():
+    """Events firing exactly on barrier timestamps stay safe at L == latency.
+
+    The lookahead equals the minimum link latency (the off-by-one regime: any
+    window even one event longer would violate).  Senders fire exactly at
+    t = k*L — the barrier instants themselves — from both sides; every
+    delivery must still happen at its exact merged-run time with no
+    lookahead violation, for both horizon modes and worker counts.
+    """
+    times_a = [0.0, EXACT_LATENCY, 2 * EXACT_LATENCY]
+    times_b = [EXACT_LATENCY, 3 * EXACT_LATENCY]
+    reference = run_exact_merged(times_a, times_b)
+    assert reference[0] and reference[1]
+    for horizon in ("fixed", "adaptive"):
+        for workers in (1, 2):
+            run = run_exact_sharded(
+                times_a, times_b, workers=workers, horizon=horizon
+            )
+            assert run.results[0] == reference[0], (horizon, workers)
+            assert run.results[1] == reference[1], (horizon, workers)
+
+
+def test_inject_remote_boundary_is_inclusive():
+    """A record due exactly `now` injects fine; strictly earlier raises."""
+    env = Environment(seed=3)
+    network = Network(env, exact_topology(), jitter_fraction=0.0)
+    receiver = ScheduledSender(env, "x1", "s1", "x0", [])
+    env.simulator.run_window(0.5)
+    network.inject_remote([(0.5, "x0", "x1", {"sent_at": 0.25, "size_bytes": 64})])
+    env.run()
+    assert receiver.log == [(0.5, 0.25)]
+    with pytest.raises(SimulationError, match="lookahead violation"):
+        network.inject_remote(
+            [(0.4999, "x0", "x1", {"sent_at": 0.25, "size_bytes": 64})]
+        )
+
+
+def test_outbox_frontier_reports_earliest_departure():
+    """The gateway frontier is the earliest undrained outbound delivery."""
+    env = Environment(seed=5)
+    network = Network(env, exact_topology(), jitter_fraction=0.0)
+    sender = ScheduledSender(env, "x0", "s0", "x1", [])
+    network.set_remote_routes({"x1": "s1"})
+    assert network.outbox_frontier is None
+    sender.send("x1", {"sent_at": 0.0, "size_bytes": 64})
+    sender.send("x1", {"sent_at": 0.0, "size_bytes": 64})
+    first = network.outbox_frontier
+    assert first == EXACT_TX + EXACT_LATENCY
+    records = network.drain_outbox()
+    assert [r[0] for r in records][0] == first
+    assert network.outbox_frontier is None
 
 
 # ---------------------------------------------------------------------------
