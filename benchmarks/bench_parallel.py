@@ -20,8 +20,15 @@ root:
   stretches in one window each).
 * **determinism** — full per-learner delivery sequences must match across
   worker counts, for the independent-rings configuration *and* for the
-  figures' original shared-learner configuration (whose merge stage replays
-  the shards' recorded decision streams).
+  figures' original shared-learner configuration (whose **reactive** merge
+  stage applies the shards' streamed decision-stream segments to a live
+  replica barrier by barrier); the reactively-applied order must also equal
+  the offline replay of the same streams.
+* **reactive_shared** — one shared-configuration (original fig6 shape) run
+  with the reactive merge stage, recording the merge/reactive-stage wall
+  clock *separately* from the shard wall clock — so any speedup claim states
+  what it includes — plus the client-visible merge latency fields
+  (``reactive_latency_mean_ms`` / ``_p95_ms``).
 
 Run from the repository root:
 
@@ -103,7 +110,9 @@ def _verify_determinism(warmup: float, duration: float, configuration: str) -> b
     """Full per-learner delivery sequences must match across worker counts.
 
     For the shared (original) configuration the comparison additionally
-    covers the merge-stage output and every recorded per-ring stream.
+    covers the reactive merge-stage output, its offline-replay anchor (the
+    reactively-applied order must equal ``replay_streams`` of the same
+    streams, in both runs) and every recorded per-ring stream.
     """
     results = [
         run_fig6_sharded(
@@ -118,12 +127,47 @@ def _verify_determinism(warmup: float, duration: float, configuration: str) -> b
     ]
     keys = ["deliveries"]
     if configuration == "shared":
-        keys += ["merged_deliveries", "ring_streams"]
+        keys += ["merged_deliveries", "merged_deliveries_offline", "ring_streams"]
+        if any(
+            r.series.get("merged_deliveries") != r.series.get("merged_deliveries_offline")
+            for r in results
+        ):
+            return False
     return all(
         results[0].series.get(key) is not None
         and results[0].series.get(key) == results[1].series.get(key)
         for key in keys
     )
+
+
+def _measure_reactive_shared(warmup: float, duration: float):
+    """One shared-configuration run: shard vs merge/reactive wall clock.
+
+    The shared configuration's wall clock includes the parent-side reactive
+    merge stage (segment routing, cursor feeding, replica application), which
+    the independent configuration never pays — so the two are recorded
+    separately and any speedup claim can state what it includes.
+    """
+    result = run_fig6_sharded(
+        RING_COUNT, workers=1, warmup=warmup, duration=duration,
+        configuration="shared",
+    )
+    return {
+        "configuration": "fig6 original shape (shared learner + common ring)",
+        "wall_clock_s": round(result.metrics["wall_clock_s"], 4),
+        "shard_wall_clock_s": round(result.metrics["shard_wall_clock_s"], 4),
+        "merge_stage_s": round(result.metrics["merge_stage_s"], 4),
+        "barrier_count": int(result.metrics["barrier_count"]),
+        "reactive_commands_applied": int(result.metrics["reactive_commands_applied"]),
+        "reactive_latency_mean_ms": round(result.metrics["reactive_latency_mean_ms"], 3),
+        "reactive_latency_p95_ms": round(result.metrics["reactive_latency_p95_ms"], 3),
+        "note": (
+            "wall_clock_s = shard_wall_clock_s + merge_stage_s; speedup "
+            "numbers above cover the independent configuration only (no "
+            "merge stage); reactive latency is merge-visibility freshness "
+            "(joint watermark minus command creation, simulated time)"
+        ),
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -221,6 +265,7 @@ def main() -> int:
     barrier = _measure_barriers()
     identical = _verify_determinism(0.2, 0.6, "independent")
     shared_identical = _verify_determinism(0.2, 0.6, "shared")
+    reactive_shared = _measure_reactive_shared(0.2, 0.8 if args.smoke else 2.0)
 
     payload = {
         "benchmark": "fig6 2-ring point, one shard per ring (independent rings)",
@@ -233,6 +278,7 @@ def main() -> int:
         "deliveries_identical": identical,
         "shared_deliveries_identical": shared_identical,
         "barrier_count": barrier,
+        "reactive_shared": reactive_shared,
     }
     if insufficient_cores:
         # A 2-worker run on a 1-core box measures process overhead, not the
@@ -265,9 +311,13 @@ def main() -> int:
     if not shared_identical:
         print(
             "FAIL: shared-learner (original configuration) sequences differ "
-            "across worker counts",
+            "across worker counts or the reactive merge diverged from the "
+            "offline replay",
             file=sys.stderr,
         )
+        failed = True
+    if reactive_shared["reactive_commands_applied"] <= 0:
+        print("FAIL: reactive merge stage applied no commands", file=sys.stderr)
         failed = True
     if not barrier["results_identical"]:
         print("FAIL: fixed and adaptive horizons produced different results", file=sys.stderr)

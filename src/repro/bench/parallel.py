@@ -13,43 +13,56 @@ scalability with the deployment's rings partitioned across real cores via
 * ``configuration="shared"`` — the figures' **original** shape: Figure 6's
   learner subscribes to every log ring plus a common ring, Figure 7's
   replicas subscribe to their partition ring plus a global ring.  The rings
-  share *learners only*, so each ring still runs in its own shard; every
-  shard records its ring's ordered decision stream (skips included), and a
-  deterministic **merge stage** (:func:`repro.multiring.merge.replay_streams`)
-  reconstructs the shared learner's round-robin delivery order in the parent
-  — exactly the sequence the deployment's
-  :class:`~repro.multiring.merge.DeterministicMerger` produces from those
-  streams.  The shards exchange no messages (the coupling is the merge, not
-  traffic), so the run is embarrassingly parallel.
+  share *learners only*, so each ring still runs in its own shard.  The
+  shared learner itself is **reactive**: the run executes in barrier windows
+  (``segment_interval``), every shard ships the decision-stream segments it
+  recorded since the last barrier (skips included, with its watermark), and
+  a parent-hosted :class:`~repro.core.smr.ReactiveReplicaHost` — a *real*
+  MRP-Store/dLog replica driven by a streaming
+  :class:`~repro.multiring.merge.MergeCursor` — applies merged deliveries
+  barrier by barrier, so clients observe merged cross-ring state during the
+  run and the results carry client-visible latency accounting
+  (``reactive_latency_*``).  The shards still exchange no messages (the
+  coupling is the merge, not traffic).
 
 Determinism: ``run_figN_sharded(..., workers=k)`` is bit-identical for every
 ``k`` — the engine executes the same per-shard simulators whether they run
 sequentially in-process (``workers=1``, the single-process reference engine)
-or in ``k`` worker processes, and the merge stage is a pure function of the
-recorded streams.  ``tests/bench/test_parallel_differential.py`` asserts
-this on full per-learner delivery sequences (both configurations), and
-``benchmarks/bench_parallel.py`` records the wall-clock speedup in
-``BENCH_parallel.json``.
+or in ``k`` worker processes, windowed execution runs the same events as a
+single window, and the merge stage is a pure function of the streamed
+segments.  The reactive merged order is additionally bit-identical to the
+offline :func:`~repro.multiring.merge.replay_streams` of the concatenated
+segments (``series['merged_deliveries_offline']``).
+``tests/bench/test_parallel_differential.py`` asserts all of this on full
+per-learner delivery sequences, and ``benchmarks/bench_parallel.py`` records
+the wall-clock speedup — with the merge/reactive stage accounted separately
+from the shard stage — in ``BENCH_parallel.json``.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.amcast import AtomicMulticast
 from ..core.client import ClosedLoopClient, OpenLoopClient
 from ..core.config import MultiRingConfig, global_config
-from ..core.smr import ProposerFrontend
-from ..multiring.merge import replay_streams
+from ..core.smr import ProposerFrontend, ReactiveReplicaHost
+from ..multiring.merge import RingSegmentBuffer, replay_streams
 from ..multiring.process import MultiRingProcess
 from ..net.ring import RingMember
 from ..paxos.messages import SKIP
+from ..sim.actor import Environment
 from ..sim.disk import StorageMode
 from ..sim.parallel import ParallelRunResult, ShardSpec, run_sharded
 from ..sim.topology import EC2_REGIONS, ec2_global, single_datacenter
 from .runner import ExperimentResult, MeasurementWindow, ShardedMeasurement
 
 __all__ = ["run_fig6_sharded", "run_fig7_sharded"]
+
+#: Default barrier cadence (simulated seconds) at which shared-configuration
+#: shards ship decision-stream segments to the reactive merge stage.
+DEFAULT_SEGMENT_INTERVAL = 0.25
 
 #: Ring ids of the original (shared-learner) deployments, mirrored from the
 #: single-process figure runners.
@@ -93,12 +106,12 @@ def _delivery_digest(recorder) -> Dict[str, List[tuple]]:
 
 
 # ---------------------------------------------------------------------------
-# Shared-learner (original-configuration) plumbing: stream taps + merge stage
+# Shared-learner (original-configuration) plumbing: segment taps + reactive
+# merge stage
 # ---------------------------------------------------------------------------
 
-#: Recorded ring output shipped to the parent: ring id → ordered
-#: ``(instance, value)`` pairs, skips included (pre-merge); filled by
-#: :meth:`repro.multiring.process.MultiRingProcess.record_ring_streams`.
+#: Ring output accumulated in the parent from the shards' streamed segments:
+#: ring id → ordered ``(instance, value)`` pairs, skips included (pre-merge).
 RingStreams = Dict[int, List[Tuple[int, Any]]]
 
 
@@ -142,6 +155,95 @@ def _merge_stage(
     ]
 
 
+def _delivery_digest_from(merged: Sequence[Tuple[int, int, Any]]) -> List[tuple]:
+    """Digest raw merged ``(group, instance, value)`` triples."""
+    return [
+        (group, instance, _stable_payload_key(value.payload))
+        for group, instance, value in merged
+    ]
+
+
+class _ReactiveMergeStage:
+    """Parent-side streaming merge: hosts reactive replicas, ingests barriers.
+
+    The ``segment_sink`` of a shared-configuration run: at every barrier the
+    engine hands over ``{shard_id: (watermark, segments)}``; the stage
+    combines the shards' disjoint rings, advances the joint watermark, and
+    feeds every hosted :class:`~repro.core.smr.ReactiveReplicaHost` the rings
+    it subscribes to.  Its wall clock is accounted separately from the
+    shards' (``merge_stage_s``) so speedup claims state what they include.
+    """
+
+    def __init__(
+        self,
+        hosts: Dict[str, ReactiveReplicaHost],
+        collect_streams: bool,
+    ) -> None:
+        self.hosts = hosts
+        self.streams: RingStreams = {}
+        self._collect = collect_streams
+        self.seconds = 0.0
+        self.barriers_fed = 0
+
+    def sink(self, segments_by_shard: Dict[int, Any]) -> None:
+        started = time.perf_counter()
+        watermark: Optional[float] = None
+        merged_segments: Dict[int, List[Tuple[int, Any]]] = {}
+        for shard_id in sorted(segments_by_shard):
+            shard_watermark, rings = segments_by_shard[shard_id]
+            if watermark is None or shard_watermark < watermark:
+                watermark = shard_watermark
+            for ring, entries in rings.items():
+                merged_segments.setdefault(ring, []).extend(entries)
+                if self._collect:
+                    self.streams.setdefault(ring, []).extend(entries)
+        for name in sorted(self.hosts):
+            host = self.hosts[name]
+            subscribed = set(host.groups)
+            host.ingest(
+                {r: e for r, e in merged_segments.items() if r in subscribed},
+                watermark=watermark,
+            )
+        self.barriers_fed += 1
+        self.seconds += time.perf_counter() - started
+
+    # ------------------------------------------------------------- reporting
+    def delivery_digests(self) -> Dict[str, List[tuple]]:
+        """Per-replica digests of the reactively applied merge output."""
+        return {
+            name: _delivery_digest_from(host.deliveries)
+            for name, host in self.hosts.items()
+        }
+
+    def offline_digests(self, messages_per_round: int) -> Dict[str, List[tuple]]:
+        """Offline ``replay_streams`` digests over the accumulated streams.
+
+        The differential anchor: must be bit-identical to
+        :meth:`delivery_digests` (streaming and offline merges agree).
+        """
+        return {
+            name: _merge_stage(
+                {ring: self.streams.get(ring, []) for ring in host.groups},
+                messages_per_round=messages_per_round,
+            )
+            for name, host in self.hosts.items()
+        }
+
+    def annotate(self, result: ExperimentResult, observed: str) -> None:
+        """Record the reactive stage's metrics on an experiment result."""
+        stats = self.hosts[observed].latency_stats()
+        result.metrics["merge_stage_s"] = self.seconds
+        result.metrics["shard_wall_clock_s"] = (
+            result.metrics["wall_clock_s"] - self.seconds
+        )
+        result.metrics["reactive_latency_mean_ms"] = stats["mean_ms"]
+        result.metrics["reactive_latency_p95_ms"] = stats["p95_ms"]
+        result.metrics["reactive_latency_count"] = stats["count"]
+        result.metrics["reactive_commands_applied"] = float(
+            sum(host.commands_applied for host in self.hosts.values())
+        )
+
+
 # ---------------------------------------------------------------------------
 # Figure 6 (vertical scalability) — one shard per ring+disk
 # ---------------------------------------------------------------------------
@@ -166,8 +268,9 @@ def _build_fig6_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
     :func:`repro.bench.fig6_vertical.run_fig6_point` for the shard's rings.
     In the independent-rings configuration the shard's replica *is* the
     deployment's learner; in the shared configuration it stands in for the
-    shared learner's per-ring half, and ``record_streams`` additionally taps
-    the ring's ordered decision stream (skips included) for the parent-side
+    shared learner's per-ring half, and ``stream_segments`` additionally taps
+    the ring's ordered decision stream (skips included) into a segment
+    buffer cut and shipped at every barrier for the parent-side reactive
     merge stage.
     """
     from ..dlog.client import append_request_factory
@@ -212,11 +315,11 @@ def _build_fig6_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
     )
     if payload.get("record_deliveries"):
         _attach_delivery_digest(harness, service.replicas)
-    if payload.get("record_streams"):
-        streams: RingStreams = {}
+    if payload.get("stream_segments"):
+        buffer = RingSegmentBuffer()
         for replica in service.replicas:
-            replica.record_ring_streams(into=streams)
-        harness.extra["streams"] = streams
+            replica.record_ring_segments(into=buffer)
+        harness.stream_segments(buffer)
     return harness
 
 
@@ -253,8 +356,8 @@ def _build_fig6_common_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
         system,
         MeasurementWindow(warmup=payload["warmup"], duration=payload["duration"]),
     )
-    if payload.get("record_streams"):
-        harness.extra["streams"] = learner.record_ring_streams()
+    if payload.get("stream_segments"):
+        harness.stream_segments(learner.record_ring_segments())
     return harness
 
 
@@ -263,6 +366,30 @@ def _build_fig6_shared_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
     if payload.get("common_ring"):
         return _build_fig6_common_shard(payload)
     return _build_fig6_shard(payload)
+
+
+def _fig6_reactive_stage(
+    ring_count: int, config: MultiRingConfig, collect_streams: bool
+) -> _ReactiveMergeStage:
+    """The parent-hosted reactive dLog replica of the shared configuration.
+
+    The deployment's single shared learner subscribes to every log ring plus
+    the common ring; a real :class:`~repro.dlog.replica.DLogReplica` in a
+    parent-side environment applies the merged deliveries as they stream in.
+    """
+    from ..dlog.replica import DLogReplica
+
+    env = Environment()
+    replica = DLogReplica(
+        env, "dlog-replica0", config=config, respond_to_clients=False
+    )
+    host = ReactiveReplicaHost(
+        replica,
+        list(range(ring_count)) + [FIG6_COMMON_RING_ID],
+        messages_per_round=config.messages_per_round,
+        retain_history=collect_streams,
+    )
+    return _ReactiveMergeStage({replica.name: host}, collect_streams)
 
 
 def run_fig6_sharded(
@@ -275,6 +402,7 @@ def run_fig6_sharded(
     append_bytes: int = 1024,
     record_deliveries: bool = False,
     configuration: str = "independent",
+    segment_interval: float = DEFAULT_SEGMENT_INTERVAL,
 ) -> ExperimentResult:
     """Figure 6 point with one shard per ring, spread over ``workers`` cores.
 
@@ -282,8 +410,12 @@ def run_fig6_sharded(
     own replica) per shard; ``configuration="shared"`` runs the figure's
     *original* deployment shape — ``ring_count`` log rings plus the common
     ring, coupled only by the shared learner — with one shard per ring and a
-    parent-side merge stage reconstructing the shared learner's round-robin
-    delivery order from the shards' recorded decision streams.
+    parent-hosted **reactive** merge stage: the run executes in barrier
+    windows of ``segment_interval`` simulated seconds, every shard ships the
+    decision-stream segments recorded since the last barrier, and a real
+    dLog replica applies the merged round-robin deliveries as they stream
+    in, with client-visible latency accounting (``reactive_latency_mean_ms``
+    / ``_p95_ms``, ``merge_stage_s`` vs ``shard_wall_clock_s``).
 
     Returns the usual :class:`ExperimentResult` plus parallel-run accounting
     (``wall_clock_s``, ``events_total``, ``workers``, ``barrier_count``).
@@ -291,8 +423,11 @@ def run_fig6_sharded(
     sequence is included under ``series['deliveries']`` keyed by shard id —
     the payload the seed-differential test compares across worker counts —
     and the shared configuration additionally reports
-    ``series['merged_deliveries']`` (the merge-stage output) and
-    ``series['ring_streams']`` (the per-ring decision-stream digests).
+    ``series['merged_deliveries']`` (the reactively applied merge output),
+    ``series['merged_deliveries_offline']`` (the offline
+    :func:`~repro.multiring.merge.replay_streams` of the same streams, which
+    must be bit-identical) and ``series['ring_streams']`` (the per-ring
+    decision-stream digests).
     """
     if ring_count < 1:
         raise ValueError("ring_count must be >= 1")
@@ -300,6 +435,7 @@ def run_fig6_sharded(
         raise ValueError(
             f"configuration must be 'independent' or 'shared', not {configuration!r}"
         )
+    shared = configuration == "shared"
     payload_base = {
         "clients_per_ring": clients_per_ring,
         "warmup": warmup,
@@ -307,17 +443,18 @@ def run_fig6_sharded(
         "seed": seed,
         "append_bytes": append_bytes,
         "record_deliveries": record_deliveries,
-        "record_streams": configuration == "shared" and record_deliveries,
+        "stream_segments": shared,
     }
     specs = [
         ShardSpec(
             shard_id=ring,
-            build=_build_fig6_shared_shard if configuration == "shared" else _build_fig6_shard,
+            build=_build_fig6_shared_shard if shared else _build_fig6_shard,
             payload={**payload_base, "log_ids": [ring]},
         )
         for ring in range(ring_count)
     ]
-    if configuration == "shared":
+    config = _fig6_config()
+    if shared:
         specs.append(
             ShardSpec(
                 shard_id=ring_count,
@@ -325,7 +462,18 @@ def run_fig6_sharded(
                 payload={**payload_base, "common_ring": True},
             )
         )
-    run = run_sharded(specs, workers=workers)
+        stage = _fig6_reactive_stage(
+            ring_count, config, collect_streams=record_deliveries
+        )
+        run = run_sharded(
+            specs,
+            workers=workers,
+            until=warmup + duration,
+            segment_interval=segment_interval,
+            segment_sink=stage.sink,
+        )
+    else:
+        run = run_sharded(specs, workers=workers)
     result = _collect(
         "fig6-sharded" if configuration == "independent" else "fig6-sharded-shared",
         run,
@@ -339,17 +487,14 @@ def run_fig6_sharded(
         },
         latency_key=(0, "fig6.ring0.latency.mean_ms"),
     )
-    if configuration == "shared" and record_deliveries:
-        streams: RingStreams = {}
-        for shard_result in run.results.values():
-            streams.update(shard_result.get("streams", {}))
-        result.series["ring_streams"] = _stream_digest(streams)
-        result.series["merged_deliveries"] = {
-            # The deployment's single shared learner subscribes to every ring.
-            "dlog-replica0": _merge_stage(
-                streams, messages_per_round=_fig6_config().messages_per_round
+    if shared:
+        stage.annotate(result, observed="dlog-replica0")
+        if record_deliveries:
+            result.series["ring_streams"] = _stream_digest(stage.streams)
+            result.series["merged_deliveries"] = stage.delivery_digests()
+            result.series["merged_deliveries_offline"] = stage.offline_digests(
+                config.messages_per_round
             )
-        }
     return result
 
 
@@ -374,8 +519,9 @@ def _build_fig7_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
     region: clients only ever touch their local partition, which is the
     property the figure measures.  In the shared configuration the region's
     replica stands in for the original replica's partition-ring half, and
-    ``record_streams`` taps the ring's ordered decision stream (skips
-    included) for the parent-side merge stage.
+    ``stream_segments`` taps the ring's ordered decision stream (skips
+    included) into a segment buffer shipped at every barrier for the
+    parent-side reactive merge stage.
     """
     import random as _random
 
@@ -426,11 +572,11 @@ def _build_fig7_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
     )
     if payload.get("record_deliveries"):
         _attach_delivery_digest(harness, service.all_replicas())
-    if payload.get("record_streams"):
-        streams: RingStreams = {}
+    if payload.get("stream_segments"):
+        buffer = RingSegmentBuffer()
         for replica in service.all_replicas():
-            replica.record_ring_streams(into=streams)
-        harness.extra["streams"] = streams
+            replica.record_ring_segments(into=buffer)
+        harness.stream_segments(buffer)
     return harness
 
 
@@ -469,8 +615,8 @@ def _build_fig7_global_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
         system,
         MeasurementWindow(warmup=payload["warmup"], duration=payload["duration"]),
     )
-    if payload.get("record_streams"):
-        harness.extra["streams"] = learner.record_ring_streams()
+    if payload.get("stream_segments"):
+        harness.stream_segments(learner.record_ring_segments())
     return harness
 
 
@@ -479,6 +625,40 @@ def _build_fig7_shared_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
     if payload.get("global_ring"):
         return _build_fig7_global_shard(payload)
     return _build_fig7_shard(payload)
+
+
+def _fig7_reactive_stage(
+    region_count: int,
+    config: MultiRingConfig,
+    key_count: int,
+    collect_streams: bool,
+) -> _ReactiveMergeStage:
+    """The parent-hosted reactive MRP-Store replicas of the shared shape.
+
+    One real :class:`~repro.kvstore.replica.MRPStoreReplica` per region, each
+    merging its partition ring with the global ring — preloaded with the same
+    initial dataset the in-shard replicas carry, so the reactive store state
+    is the state a client of the original deployment would read.
+    """
+    from ..kvstore.replica import MRPStoreReplica
+    from ..workloads.kv import preload_keys
+
+    env = Environment()
+    dataset = preload_keys(key_count)
+    hosts: Dict[str, ReactiveReplicaHost] = {}
+    for group in range(region_count):
+        replica = MRPStoreReplica(
+            env, f"kv{group}-replica0", config=config, respond_to_clients=False
+        )
+        for key, size in dataset.items():
+            replica.store.insert(key, None, size)
+        hosts[replica.name] = ReactiveReplicaHost(
+            replica,
+            [group, FIG7_GLOBAL_RING_ID],
+            messages_per_round=config.messages_per_round,
+            retain_history=collect_streams,
+        )
+    return _ReactiveMergeStage(hosts, collect_streams)
 
 
 def run_fig7_sharded(
@@ -492,15 +672,22 @@ def run_fig7_sharded(
     update_bytes: int = 1024,
     record_deliveries: bool = False,
     configuration: str = "independent",
+    segment_interval: float = DEFAULT_SEGMENT_INTERVAL,
 ) -> ExperimentResult:
     """Figure 7 point with one shard per region, spread over ``workers`` cores.
 
     ``configuration="shared"`` runs the figure's *original* shape — every
     region's partition ring plus the global ring all replicas subscribe to —
-    with the global ring in its own shard and a parent-side merge stage
-    reconstructing each replica's round-robin order over its partition ring
-    and the global ring (``series['merged_deliveries']``, keyed by replica
-    name, when ``record_deliveries=True``).
+    with the global ring in its own shard and a parent-hosted **reactive**
+    merge stage: one real MRP-Store replica per region applies its merged
+    round-robin order (partition ring + global ring) barrier by barrier as
+    the shards stream their decision-stream segments, with client-visible
+    latency accounting (``reactive_latency_*``, ``merge_stage_s``).  With
+    ``record_deliveries=True`` the reactively applied merge output is
+    reported under ``series['merged_deliveries']`` (keyed by replica name),
+    alongside the bit-identical offline replay
+    (``series['merged_deliveries_offline']``) and the per-ring stream
+    digests (``series['ring_streams']``).
     """
     if not 1 <= region_count <= len(EC2_REGIONS):
         raise ValueError(f"region_count must be within 1..{len(EC2_REGIONS)}")
@@ -508,6 +695,7 @@ def run_fig7_sharded(
         raise ValueError(
             f"configuration must be 'independent' or 'shared', not {configuration!r}"
         )
+    shared = configuration == "shared"
     regions = list(EC2_REGIONS[:region_count])
     payload_base = {
         "key_count": key_count,
@@ -517,17 +705,18 @@ def run_fig7_sharded(
         "offered_rate": offered_rate_per_region,
         "update_bytes": update_bytes,
         "record_deliveries": record_deliveries,
-        "record_streams": configuration == "shared" and record_deliveries,
+        "stream_segments": shared,
     }
     specs = [
         ShardSpec(
             shard_id=group,
-            build=_build_fig7_shared_shard if configuration == "shared" else _build_fig7_shard,
+            build=_build_fig7_shared_shard if shared else _build_fig7_shard,
             payload={**payload_base, "region": region, "group": group},
         )
         for group, region in enumerate(regions)
     ]
-    if configuration == "shared":
+    config = _fig7_config()
+    if shared:
         specs.append(
             ShardSpec(
                 shard_id=region_count,
@@ -535,7 +724,18 @@ def run_fig7_sharded(
                 payload={**payload_base, "global_ring": True, "regions": regions},
             )
         )
-    run = run_sharded(specs, workers=workers)
+        stage = _fig7_reactive_stage(
+            region_count, config, key_count, collect_streams=record_deliveries
+        )
+        run = run_sharded(
+            specs,
+            workers=workers,
+            until=warmup + duration,
+            segment_interval=segment_interval,
+            segment_sink=stage.sink,
+        )
+    else:
+        run = run_sharded(specs, workers=workers)
     observed = 0 if "us-west-2" not in regions else regions.index("us-west-2")
     result = _collect(
         "fig7-sharded" if configuration == "independent" else "fig7-sharded-shared",
@@ -551,23 +751,14 @@ def run_fig7_sharded(
         },
         latency_key=(observed, f"fig7.{regions[observed]}.latency.mean_ms"),
     )
-    if configuration == "shared" and record_deliveries:
-        streams: RingStreams = {}
-        for shard_result in run.results.values():
-            streams.update(shard_result.get("streams", {}))
-        result.series["ring_streams"] = _stream_digest(streams)
-        merged: Dict[str, List[tuple]] = {}
-        messages_per_round = _fig7_config().messages_per_round
-        for group in range(region_count):
-            # Each replica merges its partition ring with the global ring.
-            merged[f"kv{group}-replica0"] = _merge_stage(
-                {
-                    group: streams.get(group, []),
-                    FIG7_GLOBAL_RING_ID: streams.get(FIG7_GLOBAL_RING_ID, []),
-                },
-                messages_per_round=messages_per_round,
+    if shared:
+        stage.annotate(result, observed=f"kv{observed}-replica0")
+        if record_deliveries:
+            result.series["ring_streams"] = _stream_digest(stage.streams)
+            result.series["merged_deliveries"] = stage.delivery_digests()
+            result.series["merged_deliveries_offline"] = stage.offline_digests(
+                config.messages_per_round
             )
-        result.series["merged_deliveries"] = merged
     return result
 
 

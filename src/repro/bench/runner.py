@@ -22,10 +22,17 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.amcast import AtomicMulticast
+from ..multiring.merge import RingSegmentBuffer
 from ..sim.metrics import LatencyRecorder, ThroughputTracker
 from ..sim.parallel import ShardHarness
 
-__all__ = ["ExperimentResult", "measure", "MeasurementWindow", "ShardedMeasurement"]
+__all__ = [
+    "ExperimentResult",
+    "collect_window_metrics",
+    "measure",
+    "MeasurementWindow",
+    "ShardedMeasurement",
+]
 
 
 @dataclass
@@ -81,7 +88,20 @@ def measure(
     start = system.env.now
     system.run(until=window.end)
     end = system.env.now
+    return collect_window_metrics(
+        system, start, end, throughput_metrics, latency_metrics, timeline_metrics
+    )
 
+
+def collect_window_metrics(
+    system: AtomicMulticast,
+    start: float,
+    end: float,
+    throughput_metrics: Sequence[str] = (),
+    latency_metrics: Sequence[str] = (),
+    timeline_metrics: Sequence[str] = (),
+) -> Dict[str, Any]:
+    """Gather the standard metric dictionary over an already-run window."""
     results: Dict[str, Any] = {"window": (start, end)}
     for name in throughput_metrics:
         tracker = system.env.metrics.throughput(name)
@@ -108,9 +128,23 @@ class ShardedMeasurement(ShardHarness):
 
     Used by the parallel figure runners (:mod:`repro.bench.parallel`): the
     shard builder constructs its sub-deployment inside the worker process and
-    wraps it in this harness, which runs the standard warm-up/measure script
-    when the engine hands it the (single) window and ships the metric
-    dictionary back to the parent through :meth:`finalize`.
+    wraps it in this harness.  The standard warm-up/measure script runs in
+    two modes, depending on how the engine windows the run:
+
+    * **single window** (``run_sharded`` without lookahead or segment
+      interval): ``run_window(None)`` executes the whole script in one call,
+      exactly as :func:`measure` would;
+    * **windowed streaming** (``run_sharded(..., until=...,
+      segment_interval=...)``): the script is executed incrementally across
+      barrier windows — the instruments reset when the clock first reaches
+      the warm-up boundary, and the metric dictionary is gathered when the
+      final window lands on the measurement end.  The event schedule is
+      identical either way (windows do not reorder a shard's events), so the
+      two modes measure bit-identical runs.
+
+    A builder that installs a segment buffer via :meth:`stream_segments`
+    turns the harness into a streaming-merge producer: every barrier ships
+    ``(shard time, segments cut since the last barrier)`` to the parent.
 
     ``extra`` lets a builder attach additional picklable results (delivery
     digests for the differential tests, event counts, ...).
@@ -130,25 +164,57 @@ class ShardedMeasurement(ShardHarness):
         self.latency_metrics = list(latency_metrics)
         self.results: Dict[str, Any] = {}
         self.extra: Dict[str, Any] = {}
+        self.segments: Optional["RingSegmentBuffer"] = None
+        self._measure_start: Optional[float] = None
+
+    def stream_segments(self, buffer: "RingSegmentBuffer") -> None:
+        """Ship ``buffer``'s decision-stream segments at every barrier."""
+        self.segments = buffer
 
     def start(self) -> None:
         self.system.start()
 
     def run_window(self, end: Optional[float]) -> None:
-        # Sharded figure points exchange no cross-shard messages, so the
-        # engine hands over exactly one window and the whole warm-up/measure
-        # script runs here, inside the worker.
-        if self.results:
-            raise RuntimeError(
-                "ShardedMeasurement needs single-window execution "
-                "(run_sharded without lookahead)"
+        if end is None:
+            # Single window: the whole warm-up/measure script in one call.
+            if self.results:
+                raise RuntimeError(
+                    "ShardedMeasurement re-entered its single-window script "
+                    "(pass until=/segment_interval= for windowed execution)"
+                )
+            # start() already ran the deployment's start hooks; measure()'s
+            # own system.start() is idempotent for a started deployment.
+            self.results = measure(
+                self.system,
+                self.window,
+                throughput_metrics=self.throughput_metrics,
+                latency_metrics=self.latency_metrics,
             )
-        self.results = measure(
-            self.system,
-            self.window,
-            throughput_metrics=self.throughput_metrics,
-            latency_metrics=self.latency_metrics,
-        )
+            return
+        # Windowed streaming execution: advance incrementally, resetting the
+        # instruments exactly at the warm-up boundary.
+        sim = self.env.simulator
+        if self._measure_start is None:
+            if end < self.window.warmup:
+                sim.run_window(end)
+                return
+            sim.run_window(self.window.warmup)
+            self.env.metrics.reset_all()
+            self._measure_start = self.env.now
+        sim.run_window(end)
+        if end >= self.window.end and not self.results:
+            self.results = collect_window_metrics(
+                self.system,
+                self._measure_start,
+                self.env.now,
+                throughput_metrics=self.throughput_metrics,
+                latency_metrics=self.latency_metrics,
+            )
+
+    def drain_segments(self) -> Optional[Any]:
+        if self.segments is None:
+            return None
+        return (self.env.now, self.segments.cut())
 
     def finalize(self) -> Dict[str, Any]:
         payload = dict(self.results)

@@ -32,10 +32,12 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..core.amcast import AtomicMulticast
 from ..core.client import Command
 from ..core.config import MultiRingConfig
-from ..multiring.merge import replay_streams
+from ..multiring.merge import MergeCursor, replay_streams
 from ..multiring.process import MultiRingProcess
 from ..multiring.sharding import ring_components
 from ..net.message import ClientRequest, ClientResponse
+from ..paxos.messages import SKIP
+from ..ringpaxos.coordinator import PackedValues
 from ..sim.actor import Actor, Environment
 from ..sim.disk import StorageMode
 from ..sim.parallel import ShardHarness, ShardSpec, run_sharded
@@ -650,6 +652,141 @@ def _build_amcast_shard(subspec: Dict[str, Any]) -> _AmcastShard:
     return _AmcastShard(subspec)
 
 
+def _expected_ring_order(stream: List[Tuple[int, Any]]) -> List[Any]:
+    """The application payloads a ring's recorded stream delivers, in order.
+
+    Mirrors the merger's emit rules: skips deliver nothing, coordinator
+    batches unpack in place.
+    """
+    expected: List[Any] = []
+    for _instance, value in stream:
+        payload = value.payload
+        if payload is SKIP:
+            continue
+        if isinstance(payload, PackedValues):
+            expected.extend(inner.payload for inner in payload)
+        else:
+            expected.append(payload)
+    return expected
+
+
+def _reactive_merge_check(
+    name: str,
+    streams: Dict[int, List[Tuple[int, Any]]],
+    messages_per_round: int,
+) -> Tuple[List[Tuple[int, int, Any]], List[Violation], Dict[str, Any]]:
+    """Validate a shared learner's merge through the *reactive* subsystem.
+
+    Instead of trusting an offline digest, the recorded per-ring streams are
+    chunked into decision-stream segments (varying sizes, with watermarks —
+    the shape shards ship at barriers) and fed through a streaming
+    :class:`~repro.multiring.merge.MergeCursor` driving a real MRP-Store
+    replica: every merged delivery inserts its payload as a key, exactly as
+    a reactive shared-learner service would make it readable.  Three
+    invariants are checked against that live state:
+
+    * **read-your-writes** — every payload delivered by a barrier is
+      readable from the store immediately after that barrier's ingest;
+    * **kvstore convergence** — the final store holds exactly the distinct
+      delivered payloads (nothing lost, nothing invented);
+    * **merge-stream agreement** — the streaming delivery order is
+      bit-identical to the offline :func:`replay_streams` of the same
+      streams, and each delivered ring prefix appears in recorded-stream
+      order (a ring's undelivered tail may legitimately stay pending when
+      the streams end unevenly at the horizon cut).
+
+    Returns ``(digest, violations, stats)`` where ``digest`` is the familiar
+    ``(group, instance, payload)`` sequence (what the determinism tests
+    compare across worker counts).
+    """
+    from ..kvstore.replica import MRPStoreReplica
+
+    env = Environment()
+    replica = MRPStoreReplica(env, f"{name}-reactive", respond_to_clients=False)
+    merged: List[Tuple[int, int, Any]] = []
+
+    def apply(group: int, instance: int, value: Any) -> None:
+        payload = value.payload
+        replica.apply_command(
+            group,
+            Command(
+                op="insert",
+                args=(repr(payload), None, 64),
+                group_id=group,
+                size_bytes=64,
+            ),
+        )
+        merged.append((group, instance, payload))
+
+    groups = sorted(streams)
+    cursor = MergeCursor(groups, messages_per_round=messages_per_round,
+                         on_deliver=apply, retain_history=False)
+    violations: List[Violation] = []
+    positions = {group: 0 for group in groups}
+    barrier = 0
+    while any(positions[g] < len(streams[g]) for g in groups):
+        barrier += 1
+        chunk = 1 + (barrier % 4)  # vary segment sizes: exercise incrementality
+        segments = {}
+        for group in groups:
+            at = positions[group]
+            entries = streams[group][at:at + chunk]
+            if entries:
+                segments[group] = entries
+                positions[group] = at + len(entries)
+        before = len(merged)
+        cursor.feed_segments(segments, watermark=float(barrier))
+        for group, instance, payload in merged[before:]:
+            entry = replica.store.read(repr(payload))
+            if entry is None:
+                violations.append(Violation(
+                    "reactive-read-your-writes",
+                    f"{name}: payload {payload!r} (ring {group}, instance "
+                    f"{instance}) was applied at barrier {barrier} but is not "
+                    "readable from the reactive store",
+                ))
+
+    distinct = {repr(payload) for _, _, payload in merged}
+    if replica.entry_count() != len(distinct):
+        violations.append(Violation(
+            "reactive-store-convergence",
+            f"{name}: reactive store holds {replica.entry_count()} entries, "
+            f"expected {len(distinct)} distinct delivered payloads",
+        ))
+    offline = [
+        (group, instance, value.payload)
+        for group, instance, value in replay_streams(
+            streams, messages_per_round=messages_per_round
+        )
+    ]
+    if merged != offline:
+        violations.append(Violation(
+            "merge-stream-divergence",
+            f"{name}: streaming merge delivered {len(merged)} entries, "
+            f"offline replay {len(offline)}; sequences diverge",
+        ))
+    for group in groups:
+        observed = [payload for g, _, payload in merged if g == group]
+        expected = _expected_ring_order(streams[group])
+        # Prefix comparison: the round-robin legitimately leaves a ring's
+        # tail pending when the streams end unevenly at the horizon cut (the
+        # offline replay leaves it pending too, which the divergence check
+        # above pins down) — only *reordering* within what was delivered is
+        # a violation.
+        if observed != expected[:len(observed)]:
+            violations.append(Violation(
+                "reactive-merge-order",
+                f"{name}: ring {group} payloads left the merge out of "
+                "recorded-stream order",
+            ))
+    stats = {
+        "barriers": barrier,
+        "applied": len(merged),
+        "store_entries": replica.entry_count(),
+    }
+    return merged, violations, stats
+
+
 def _run_amcast_sharded(
     spec: Dict[str, Any],
     components: List[List[int]],
@@ -664,10 +801,13 @@ def _run_amcast_sharded(
     Learners shared across components are mirrored into every shard that
     hosts one of their rings; their per-shard partial digests are keyed
     ``name@shard<id>``, and — unless a fault touched the learner mid-run —
-    a merge stage (:func:`repro.multiring.merge.replay_streams`) replays the
-    shards' recorded per-ring streams into the learner's cross-component
-    delivery digest under its plain name, exactly the round-robin order its
-    single-process merger produces from those streams.
+    the *reactive* merge stage streams the shards' recorded per-ring streams
+    segment by segment through a :class:`~repro.multiring.merge.MergeCursor`
+    into a live MRP-Store state machine, validating read-your-writes and
+    store convergence against that merged state (see
+    :func:`_reactive_merge_check`) and recording the learner's
+    cross-component delivery digest under its plain name — exactly the
+    round-robin order its single-process merger produces from those streams.
     """
     schedule = FaultSchedule.from_dicts(spec["schedule"])
     active_end = max(spec["horizon"], schedule.end_time) + SETTLE
@@ -713,24 +853,32 @@ def _run_amcast_sharded(
             stats["deliveries"][key] = count
 
     # Merge stage: reconstruct each shared learner's cross-component delivery
-    # order.  A learner that crashed or was reconfigured mid-run re-emits
-    # parts of its streams (per incarnation), so its offline replay is not
-    # well-defined — the per-shard partial digests remain authoritative then.
+    # order through the *reactive* subsystem — the recorded streams are
+    # chunked into barrier segments, streamed through a merge cursor into a
+    # live MRP-Store state machine, and read-your-writes / store-convergence
+    # / stream-agreement are validated against that merged state (see
+    # :func:`_reactive_merge_check`).  A learner that crashed or was
+    # reconfigured mid-run re-emits parts of its streams (per incarnation),
+    # so its merge is not well-defined — the per-shard partial digests
+    # remain authoritative then.
     touched = {
         event.get("params", {}).get("process")
         for event in spec["schedule"]
         if event.get("action") in ("crash", "restart", "remove_from_ring", "add_to_ring")
     }
     messages_per_round = spec.get("messages_per_round", 1)
+    reactive_stats: Dict[str, Any] = {}
     for name in merge_learners:
         if name in touched or name in crashed:
             continue
         streams = streams_by_name.get(name)
         if streams:
-            merged = replay_streams(streams, messages_per_round=messages_per_round)
-            digests[name] = [
-                (group, instance, value.payload) for group, instance, value in merged
-            ]
+            merged, merge_violations, merge_stats = _reactive_merge_check(
+                name, streams, messages_per_round
+            )
+            digests[name] = merged
+            violations.extend(merge_violations)
+            reactive_stats[name] = merge_stats
     # Broadcast faults (disk spikes) execute in every shard's sub-schedule;
     # summing the per-shard counts would multiply them by the shard count.
     # The scenario's fault count is the full schedule's, exactly as in the
@@ -743,6 +891,8 @@ def _run_amcast_sharded(
     }
     if merge_learners:
         stats["sharded"]["merge_learners"] = merge_learners
+        if reactive_stats:
+            stats["sharded"]["reactive_merge"] = reactive_stats
     return violations, stats, tails, digests
 
 

@@ -3,7 +3,7 @@
 from .amcast import AtomicMulticast, parse_roles
 from .client import ClosedLoopClient, Command, CommandBatch, CommandBatcher, OpenLoopClient
 from .config import MultiRingConfig, global_config, local_config
-from .smr import ProposerFrontend, StateMachineReplica
+from .smr import ProposerFrontend, ReactiveReplicaHost, StateMachineReplica
 
 __all__ = [
     "AtomicMulticast",
@@ -17,5 +17,6 @@ __all__ = [
     "global_config",
     "local_config",
     "ProposerFrontend",
+    "ReactiveReplicaHost",
     "StateMachineReplica",
 ]

@@ -18,6 +18,12 @@ deterministically, so all replicas traverse the same states (Section 6).
 :class:`ProposerFrontend` is the thin process clients talk to: it receives
 client requests (possibly batched) and multicasts them to the requested
 group.
+
+:class:`ReactiveReplicaHost` is the service half of the sharded engine's
+streaming merge stage: it hosts a *real* replica in the parent process and
+applies merged cross-ring deliveries to it barrier by barrier, so clients can
+read merged shared-learner state — with latency accounting — while the shards
+are still running.
 """
 
 from __future__ import annotations
@@ -31,11 +37,12 @@ from ..recovery.recover import RecoveryManager, RecoveryPhase
 from ..sim.actor import Environment
 from ..sim.disk import SSD_PROFILE
 from ..storage.checkpoint import CheckpointId, CheckpointStore
+from ..multiring.merge import MergeCursor
 from ..multiring.process import MultiRingProcess
 from .client import Command, CommandBatch
 from .config import MultiRingConfig
 
-__all__ = ["StateMachineReplica", "ProposerFrontend"]
+__all__ = ["StateMachineReplica", "ProposerFrontend", "ReactiveReplicaHost"]
 
 
 class StateMachineReplica(MultiRingProcess):
@@ -305,3 +312,128 @@ class ProposerFrontend(MultiRingProcess):
     def forwarded(self) -> int:
         """Client requests forwarded into the ordering layer."""
         return self._forwarded
+
+
+class ReactiveReplicaHost:
+    """Drives a real replica from the streaming merge, outside the shards.
+
+    The reactive half of merge-stage sharding: a deployment whose rings share
+    learners only runs one ring component per shard, every shard ships the
+    decision-stream segments it recorded since the last barrier, and this
+    host — living in the *parent* process — feeds them through a
+    :class:`~repro.multiring.merge.MergeCursor` and applies each merged
+    delivery to a real :class:`StateMachineReplica` (an MRP-Store or dLog
+    replica) the moment it becomes final.  Clients can therefore read merged
+    cross-ring state *during* a sharded run instead of waiting for an
+    offline replay, and the cumulative delivery sequence is bit-identical to
+    :func:`~repro.multiring.merge.replay_streams` over the concatenated
+    segments (and hence to the single-process merger).
+
+    Latency accounting: every applied :class:`~repro.core.client.Command`
+    records ``joint watermark − command.created_at`` — the client-visible
+    freshness of the merged state at the barrier that made the command
+    readable — into ``reactive.<replica>.latency`` on the replica's metric
+    registry.
+
+    Parameters
+    ----------
+    replica:
+        The service replica to drive.  It lives in a parent-side
+        :class:`~repro.sim.actor.Environment` and never joins a ring — the
+        cursor replaces its merger — and should be constructed with
+        ``respond_to_clients=False`` (its clients are the parent's callers,
+        not simulated actors).
+    group_ids:
+        The rings the replica (as the deployment's shared learner) is
+        subscribed to.
+    messages_per_round:
+        The deterministic-merge parameter ``M``.
+    retain_history:
+        Keep the full applied-delivery sequence for :attr:`deliveries` (the
+        differential digests need it).  Pass ``False`` when only the live
+        replica state matters — the host then holds no more than one
+        barrier's deliveries in memory.
+    """
+
+    def __init__(
+        self,
+        replica: StateMachineReplica,
+        group_ids: List[int],
+        messages_per_round: int = 1,
+        retain_history: bool = True,
+    ) -> None:
+        self.replica = replica
+        self._latency = replica.env.metrics.latency(f"reactive.{replica.name}.latency")
+        self._cursor = MergeCursor(
+            group_ids,
+            messages_per_round=messages_per_round,
+            on_deliver=self._apply,
+            retain_history=retain_history,
+        )
+
+    # ----------------------------------------------------------------- input
+    def ingest(
+        self,
+        segments: Dict[int, List[Tuple[int, ProposalValue]]],
+        watermark: Optional[float] = None,
+    ) -> int:
+        """Feed one barrier's decision-stream segments; apply what merges.
+
+        ``segments`` maps ring ids to the ``(instance, value)`` entries
+        recorded since the last barrier (rings with nothing new may be
+        absent); ``watermark`` is the barrier time, advancing every
+        subscribed ring at once.  Every delivery the round-robin can finalise
+        is applied to the replica before this returns.  Returns the number of
+        deliveries applied.
+        """
+        return len(self._cursor.feed_segments(segments, watermark=watermark))
+
+    def _apply(self, group_id: int, instance: int, value: ProposalValue) -> None:
+        self.replica.on_deliver(group_id, instance, value)
+        watermark = self._cursor.watermark
+        if watermark is None:
+            return
+        payload = value.payload
+        commands = payload if isinstance(payload, CommandBatch) else (payload,)
+        for command in commands:
+            if isinstance(command, Command):
+                self._latency.record(max(0.0, watermark - command.created_at))
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def groups(self) -> List[int]:
+        """Rings feeding this replica's merge, in merge order."""
+        return self._cursor.groups
+
+    @property
+    def watermark(self) -> Optional[float]:
+        """Simulated time up to which the merged state is complete."""
+        return self._cursor.watermark
+
+    @property
+    def deliveries(self) -> List[Tuple[int, int, ProposalValue]]:
+        """Every merged delivery applied so far, in merge order.
+
+        Only complete with ``retain_history=True`` (the default).
+        """
+        return self._cursor.merged
+
+    @property
+    def delivered_count(self) -> int:
+        """Merged deliveries applied so far (skips excluded)."""
+        return self._cursor.delivered_count
+
+    @property
+    def commands_applied(self) -> int:
+        """Commands the hosted replica executed."""
+        return self.replica.commands_applied
+
+    def latency_stats(self) -> Dict[str, float]:
+        """Client-visible merge latency summary, in milliseconds."""
+        recorder = self._latency
+        return {
+            "count": float(recorder.count),
+            "mean_ms": recorder.mean() * 1e3,
+            "p95_ms": recorder.percentile(95) * 1e3,
+            "p99_ms": recorder.percentile(99) * 1e3,
+        }

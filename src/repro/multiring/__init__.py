@@ -1,7 +1,7 @@
 """Multi-Ring Paxos: atomic multicast from coordinated Ring Paxos instances."""
 
 from .group import GroupSubscriptions, MulticastGroup
-from .merge import DeterministicMerger
+from .merge import DeterministicMerger, MergeCursor, RingSegmentBuffer, replay_streams
 from .process import MultiRingProcess
 from .ratelevel import GLOBAL_RATE_LEVELER, LOCAL_RATE_LEVELER, RateLeveler
 from .sharding import ShardPlan, conservative_lookahead, plan_shards, ring_components
@@ -10,6 +10,9 @@ __all__ = [
     "GroupSubscriptions",
     "MulticastGroup",
     "DeterministicMerger",
+    "MergeCursor",
+    "RingSegmentBuffer",
+    "replay_streams",
     "MultiRingProcess",
     "GLOBAL_RATE_LEVELER",
     "LOCAL_RATE_LEVELER",

@@ -17,26 +17,36 @@ application deliveries.  It is a pure data structure, which makes the ordering
 property easy to test: any interleaving of `offer()` calls produces the same
 delivery sequence.
 
-That interleaving-independence is also what makes the merge *replayable*:
-:func:`replay_streams` reconstructs a learner's delivery order offline from
-recorded per-ring decision streams.  The sharded execution engine uses it as
-its **merge stage** — a deployment whose rings share learners only (the
-paper's Figure 6/7 configurations) runs one ring component per shard, each
-shard records its rings' ordered decision streams (skips included), and the
-parent replays them here to obtain the exact round-robin order the shared
-learner would have produced (see :mod:`repro.multiring.sharding` and
-:mod:`repro.bench.parallel`).
+That interleaving-independence is also what makes the merge *streamable*:
+:class:`MergeCursor` consumes per-ring decision-stream **segments** — the
+entries recorded since the last barrier, tagged with a per-ring watermark —
+as they arrive and emits merged round-robin deliveries incrementally.  The
+sharded execution engine uses it as its **merge stage**: a deployment whose
+rings share learners only (the paper's Figure 6/7 configurations) runs one
+ring component per shard, each shard cuts a segment from its recorded
+per-ring streams at every barrier (skips included, via
+:class:`RingSegmentBuffer`), and the parent feeds the segments into a cursor
+driving live service replicas (see :mod:`repro.sim.parallel`,
+:class:`repro.core.smr.ReactiveReplicaHost` and :mod:`repro.bench.parallel`).
+:func:`replay_streams` — the offline whole-run replay — is a thin wrapper
+that feeds a cursor each complete stream in one segment; by
+interleaving-independence the streaming and offline orders are identical.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..paxos.messages import SKIP, ProposalValue
 from ..ringpaxos.coordinator import PackedValues
 
-__all__ = ["DeterministicMerger", "replay_streams"]
+__all__ = [
+    "DeterministicMerger",
+    "MergeCursor",
+    "RingSegmentBuffer",
+    "replay_streams",
+]
 
 DeliverCallback = Callable[[int, int, ProposalValue], None]
 
@@ -53,13 +63,14 @@ def replay_streams(
 ) -> List[Tuple[int, int, ProposalValue]]:
     """Replay recorded per-ring decision streams through the deterministic merge.
 
-    The merge stage of sharded execution: given, for every subscribed group,
+    The offline form of the merge stage: given, for every subscribed group,
     the ordered ``(instance, value)`` stream its ring decided (skips
     included), reconstruct the delivery sequence a learner subscribed to all
-    of them would produce.  Because :class:`DeterministicMerger` is
-    insensitive to how ``offer()`` calls interleave across groups, the replay
-    order (group by group) is irrelevant — the result is the unique
-    round-robin order of the streams.
+    of them would produce.  Implemented as a thin wrapper over
+    :class:`MergeCursor` — each complete stream is fed as one segment, and
+    because the merge is insensitive to how inputs interleave across groups,
+    the result is identical to any segment-by-segment streaming of the same
+    streams (the property the reactive differential tests pin down).
 
     Returns the merged deliveries as ``(group, instance, value)`` triples
     (skips consumed silently, batches unpacked — the same output an online
@@ -68,21 +79,201 @@ def replay_streams(
     """
     if not streams:
         raise ValueError("replay needs at least one group stream")
-    deliveries: List[Tuple[int, int, ProposalValue]] = []
-    callback = on_deliver
-
-    def collect(group: int, instance: int, value: ProposalValue) -> None:
-        deliveries.append((group, instance, value))
-        if callback is not None:
-            callback(group, instance, value)
-
-    merger = DeterministicMerger(
-        sorted(streams), messages_per_round=messages_per_round, on_deliver=collect
+    cursor = MergeCursor(
+        sorted(streams), messages_per_round=messages_per_round, on_deliver=on_deliver
     )
     for group in sorted(streams):
-        for instance, value in streams[group]:
-            merger.offer(group, instance, value)
-    return deliveries
+        cursor.feed(group, streams[group])
+    return cursor.merged
+
+
+class RingSegmentBuffer:
+    """Accumulates per-ring ordered instances between barrier cuts.
+
+    The producer side of the streaming merge: installed as a ring-stream tap
+    (:meth:`repro.multiring.process.MultiRingProcess.record_ring_segments`),
+    it collects every ``(instance, value)`` a ring learner emits — skips
+    included — and :meth:`cut` hands over everything recorded since the last
+    cut as one segment per ring, ready to ship through a barrier.  Several
+    processes may share one buffer (their rings are disjoint).
+    """
+
+    __slots__ = ("_entries", "total_entries")
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, List[Tuple[int, ProposalValue]]] = {}
+        #: Entries recorded over the buffer's lifetime (cuts included).
+        self.total_entries = 0
+
+    def append(self, ring_id: int, instance: int, value: ProposalValue) -> None:
+        """Record one ordered instance (the tap callback)."""
+        self._entries.setdefault(ring_id, []).append((instance, value))
+        self.total_entries += 1
+
+    def cut(self) -> Dict[int, List[Tuple[int, ProposalValue]]]:
+        """Detach and return the segments recorded since the last cut."""
+        segments = self._entries
+        self._entries = {}
+        return segments
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+
+class MergeCursor:
+    """Incremental round-robin merge over per-ring decision-stream segments.
+
+    The streaming form of the merge stage: segments — the ``(instance,
+    value)`` entries a ring decided since the last barrier, optionally tagged
+    with a **watermark** (the simulated time up to which that ring's stream
+    is known complete) — are fed as they arrive, and the cursor emits merged
+    deliveries as soon as the round-robin can consume them.  Emission is
+    gated by the inputs themselves: the round-robin stalls at the first
+    subscribed ring with no queued entries, so the cursor never emits a
+    delivery that a later segment could reorder — deliveries drained after
+    feeding every ring up to watermark ``W`` are final, and
+    :attr:`watermark` (the joint minimum) tells consumers how fresh the
+    merged state is.
+
+    Wraps a :class:`DeterministicMerger`, so the cumulative delivery sequence
+    is bit-identical to the offline :func:`replay_streams` of the
+    concatenated segments, for every chunking.
+
+    Parameters
+    ----------
+    retain_history:
+        Keep every delivery for :attr:`merged` (the default; what
+        :func:`replay_streams` and the differential digests need).  Pass
+        ``False`` for long-running reactive consumers that only process
+        :meth:`drain` windows — the cursor then holds no more than one
+        barrier's deliveries, instead of the whole run's.
+    """
+
+    def __init__(
+        self,
+        group_ids: Sequence[int],
+        messages_per_round: int = 1,
+        on_deliver: Optional[DeliverCallback] = None,
+        retain_history: bool = True,
+    ) -> None:
+        self._on_deliver = on_deliver
+        self._retain = retain_history
+        self._merged: List[Tuple[int, int, ProposalValue]] = []
+        self._drained = 0
+        self._watermarks: Dict[int, Optional[float]] = {
+            g: None for g in sorted(set(group_ids))
+        }
+        self._merger = DeterministicMerger(
+            group_ids, messages_per_round=messages_per_round, on_deliver=self._collect
+        )
+
+    def _collect(self, group: int, instance: int, value: ProposalValue) -> None:
+        self._merged.append((group, instance, value))
+        if self._on_deliver is not None:
+            self._on_deliver(group, instance, value)
+
+    # ---------------------------------------------------------------- inputs
+    def feed(
+        self,
+        group_id: int,
+        entries: Iterable[Tuple[int, ProposalValue]] = (),
+        watermark: Optional[float] = None,
+    ) -> None:
+        """Feed one ring's next segment (possibly empty) into the merge.
+
+        ``entries`` must continue the ring's ordered stream exactly where the
+        previous segment ended.  ``watermark`` advances the ring's completion
+        time — an empty segment with a watermark is how an idle ring reports
+        progress; feeding a watermark that moves backwards is an error.
+        """
+        if group_id not in self._watermarks:
+            raise KeyError(f"not subscribed to group {group_id}")
+        if watermark is not None:
+            previous = self._watermarks[group_id]
+            if previous is not None and watermark < previous:
+                raise ValueError(
+                    f"watermark of group {group_id} moved backwards "
+                    f"({previous} -> {watermark})"
+                )
+            self._watermarks[group_id] = watermark
+        offer = self._merger.offer
+        for instance, value in entries:
+            offer(group_id, instance, value)
+
+    def feed_segments(
+        self,
+        segments: Mapping[int, Iterable[Tuple[int, ProposalValue]]],
+        watermark: Optional[float] = None,
+    ) -> List[Tuple[int, int, ProposalValue]]:
+        """Feed one barrier's segments for every subscribed ring; drain.
+
+        ``watermark`` (the barrier time) advances every subscribed ring not
+        already past it (a ring ahead of the barrier keeps its own mark) —
+        watermarks are applied before any entry so deliveries emitted by this
+        call observe the joint watermark they became final at.  Returns the
+        deliveries newly emitted by this barrier (see :meth:`drain`).
+        """
+        if watermark is not None:
+            for group, current in self._watermarks.items():
+                if current is None or watermark > current:
+                    self.feed(group, (), watermark)
+        for group in sorted(segments):
+            self.feed(group, segments[group])
+        return self.drain()
+
+    # --------------------------------------------------------------- outputs
+    def drain(self) -> List[Tuple[int, int, ProposalValue]]:
+        """Deliveries emitted since the last drain (finalised merge output)."""
+        if self._retain:
+            new = self._merged[self._drained:]
+            self._drained = len(self._merged)
+            return new
+        new = self._merged
+        self._merged = []
+        return new
+
+    @property
+    def merged(self) -> List[Tuple[int, int, ProposalValue]]:
+        """Every delivery emitted so far, in merge order (drains included).
+
+        With ``retain_history=False`` only the not-yet-drained deliveries
+        remain.
+        """
+        return list(self._merged)
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def watermark(self) -> Optional[float]:
+        """The joint watermark: merged state is complete up to this time.
+
+        ``None`` until every subscribed ring has reported one.
+        """
+        minimum: Optional[float] = None
+        for mark in self._watermarks.values():
+            if mark is None:
+                return None
+            if minimum is None or mark < minimum:
+                minimum = mark
+        return minimum
+
+    @property
+    def groups(self) -> List[int]:
+        """Subscribed group ids in merge order."""
+        return sorted(self._watermarks)
+
+    @property
+    def delivered_count(self) -> int:
+        """Application messages delivered so far (skips excluded)."""
+        return self._merger.delivered_count
+
+    @property
+    def skipped_count(self) -> int:
+        """Skip instances consumed so far."""
+        return self._merger.skipped_count
+
+    def pending(self, group_id: int) -> int:
+        """Instances queued for ``group_id`` not yet consumed by the merge."""
+        return self._merger.pending(group_id)
 
 
 class DeterministicMerger:

@@ -19,7 +19,7 @@ from ..paxos.messages import ProposalValue, TrimQuery, TrimReport
 from ..ringpaxos.node import RingNode, RingNodeConfig
 from ..sim.actor import Actor, Environment
 from ..sim.disk import Disk
-from .merge import DeterministicMerger
+from .merge import DeterministicMerger, RingSegmentBuffer
 
 __all__ = ["MultiRingProcess"]
 
@@ -122,23 +122,43 @@ class MultiRingProcess(Actor):
         """Observe every per-ring ordered instance *before* the merge.
 
         ``sink(ring_id, instance, value)`` fires for each instance a ring
-        learner emits, skips included — exactly the stream
-        :func:`repro.multiring.merge.replay_streams` consumes.  Sharded
-        execution taps the per-ring streams here so a parent-side merge stage
-        can reconstruct a shared learner's delivery order; the tap survives
+        learner emits, skips included — exactly the stream the merge stage
+        consumes.  This is the streaming tap of sharded execution: pointed at
+        a :class:`~repro.multiring.merge.RingSegmentBuffer` (see
+        :meth:`record_ring_segments`) it emits the decision-stream segments
+        shipped through barriers to a parent-side
+        :class:`~repro.multiring.merge.MergeCursor`; the tap survives
         crash/restart (restarted learners keep feeding it).
         """
         self._ring_tap = sink
 
+    def record_ring_segments(
+        self, into: Optional["RingSegmentBuffer"] = None
+    ) -> "RingSegmentBuffer":
+        """Install the segment-emitting streaming tap.
+
+        Returns a :class:`~repro.multiring.merge.RingSegmentBuffer` that
+        accumulates this process's per-ring ordered instances (skips
+        included); ``buffer.cut()`` at every barrier yields the decision-
+        stream segments recorded since the last cut, ready to ship to a
+        parent-side merge cursor.  ``into`` lets several processes share one
+        buffer (their rings must be disjoint).
+        """
+        buffer = RingSegmentBuffer() if into is None else into
+        self.tap_ring_streams(buffer.append)
+        return buffer
+
     def record_ring_streams(
         self, into: Optional[Dict[int, List[Tuple[int, ProposalValue]]]] = None
     ) -> Dict[int, List[Tuple[int, ProposalValue]]]:
-        """Install a tap that records the per-ring streams into a dict.
+        """Install a tap that records the whole-run per-ring streams.
 
         Returns the mapping ``ring_id → [(instance, value), ...]`` (skips
         included) that :func:`repro.multiring.merge.replay_streams` consumes;
         it fills in as the simulation runs.  ``into`` lets several processes
-        share one sink.
+        share one sink.  The offline counterpart of
+        :meth:`record_ring_segments` — use it when the merge happens after
+        the run rather than barrier by barrier.
         """
         streams = {} if into is None else into
 

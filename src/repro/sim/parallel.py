@@ -52,10 +52,20 @@ would otherwise interleave across shards.
 
 Deployments whose rings share **learners only** (the paper's Figure 6/7
 configurations: every replica subscribes to all rings) are sharded without
-the shared learner: each ring component runs in its own shard, records its
-per-ring decision stream, and a deterministic **merge stage**
-(:func:`repro.multiring.merge.replay_streams`) reconstructs the shared
-learner's round-robin delivery order in the parent — see
+the shared learner: each ring component runs in its own shard and a
+deterministic **merge stage** reconstructs the shared learner's round-robin
+delivery order in the parent.  The merge is *streaming*: at every barrier
+each shard ships the decision-stream **segments** recorded since the last
+barrier — via :meth:`ShardHarness.drain_segments`, alongside the
+``next_event_time``/outbox-frontier exchange — and the parent's
+``segment_sink`` feeds them into a
+:class:`~repro.multiring.merge.MergeCursor` (typically through a
+:class:`~repro.core.smr.ReactiveReplicaHost`, so live service replicas apply
+merged deliveries and answer clients *during* the run).  Shard sets that
+exchange no messages can still request barriers purely as a streaming
+cadence with ``segment_interval=`` — any interval is safe because no
+cross-shard message exists to be late, and the event schedule is untouched
+(windowed execution runs the exact same events as a single window).  See
 :mod:`repro.multiring.sharding` and :mod:`repro.bench.parallel`.
 
 Usage sketch::
@@ -160,6 +170,19 @@ class ShardHarness:
         network = self.env.network
         return network.drain_outbox() if network is not None else []
 
+    def drain_segments(self) -> Optional[Any]:
+        """Streaming payload to ship through this barrier (override).
+
+        Called at every barrier, right after the window ran.  Harnesses
+        feeding a parent-side streaming merge return ``(watermark,
+        segments)`` — the shard's simulated time (everything at or before it
+        has executed, so the shard's streams are complete up to it) plus the
+        per-ring decision-stream segments recorded since the last barrier
+        (``ring_id → [(instance, value), ...]``, possibly empty).  The
+        payload must be picklable; ``None`` (the default) ships nothing.
+        """
+        return None
+
     def inject(self, records: Sequence[RemoteMessage]) -> None:
         """Deliver messages handed over at the barrier into this shard."""
         if records:
@@ -239,10 +262,15 @@ class _ShardSet:
         for sid, routes in routes_by_shard.items():
             self.harnesses[sid].set_remote_routes(routes)
 
-    def start(self) -> Tuple[Dict[int, List[RemoteMessage]], Dict[int, Optional[float]]]:
-        """Start every shard; returns (t=0 cross-shard messages, horizons)."""
+    def start(self) -> Tuple[
+        Dict[int, List[RemoteMessage]],
+        Dict[int, Optional[float]],
+        Dict[int, Any],
+    ]:
+        """Start every shard; returns (t=0 cross messages, horizons, segments)."""
         outbound: Dict[int, List[RemoteMessage]] = {}
         horizons: Dict[int, Optional[float]] = {}
+        segments: Dict[int, Any] = {}
         for sid in sorted(self.harnesses):
             harness = self.harnesses[sid]
             harness.start()
@@ -250,7 +278,10 @@ class _ShardSet:
             if out:
                 outbound[sid] = out
             horizons[sid] = harness.next_event_time()
-        return outbound, horizons
+            shipped = harness.drain_segments()
+            if shipped is not None:
+                segments[sid] = shipped
+        return outbound, horizons, segments
 
     def run_window(
         self,
@@ -260,10 +291,12 @@ class _ShardSet:
         Dict[int, List[RemoteMessage]],
         Dict[int, int],
         Dict[int, Optional[float]],
+        Dict[int, Any],
     ]:
         outbound: Dict[int, List[RemoteMessage]] = {}
         events: Dict[int, int] = {}
         horizons: Dict[int, Optional[float]] = {}
+        segments: Dict[int, Any] = {}
         for sid in sorted(self.harnesses):
             harness = self.harnesses[sid]
             harness.inject(inbound.get(sid, ()))
@@ -273,7 +306,10 @@ class _ShardSet:
                 outbound[sid] = out
             events[sid] = harness.processed_events
             horizons[sid] = harness.next_event_time()
-        return outbound, events, horizons
+            shipped = harness.drain_segments()
+            if shipped is not None:
+                segments[sid] = shipped
+        return outbound, events, horizons, segments
 
     def finalize(self) -> Dict[int, Any]:
         return {sid: h.finalize() for sid, h in self.harnesses.items()}
@@ -291,13 +327,13 @@ def _worker_main(conn, specs: Sequence[ShardSpec]) -> None:
                 shard_set.set_routes(command[1])
                 conn.send(("ok",))
             elif op == "start":
-                outbound, horizons = shard_set.start()
-                conn.send(("out", outbound, {}, horizons))
+                outbound, horizons, segments = shard_set.start()
+                conn.send(("out", outbound, {}, horizons, segments))
             elif op == "window":
-                outbound, events, horizons = shard_set.run_window(
+                outbound, events, horizons, segments = shard_set.run_window(
                     command[1], command[2]
                 )
-                conn.send(("out", outbound, events, horizons))
+                conn.send(("out", outbound, events, horizons, segments))
             elif op == "finish":
                 conn.send(("result", shard_set.finalize()))
                 return
@@ -383,6 +419,8 @@ def run_sharded(
     lookahead: Optional[float] = None,
     mp_context: Optional[str] = None,
     horizon: str = "adaptive",
+    segment_interval: Optional[float] = None,
+    segment_sink: Optional[Callable[[Dict[int, Any]], None]] = None,
 ) -> ParallelRunResult:
     """Execute shards under conservative barrier synchronisation.
 
@@ -415,6 +453,22 @@ def run_sharded(
         skipping idle stretches in one hop; ``"fixed"`` steps by exactly one
         lookahead per barrier (the textbook protocol).  Both execute the
         identical event schedule; only the barrier count differs.
+    segment_interval:
+        Streaming cadence in simulated seconds for shard sets that exchange
+        **no** cross-shard messages: barriers are run purely so shards can
+        ship their decision-stream segments (any interval is safe — nothing
+        is in flight to be late — and windowed execution runs the exact same
+        events as a single window).  Requires ``until``; ignored when a
+        ``lookahead`` already drives barriers.  Cross-shard traffic without
+        a lookahead still raises, exactly as in the single-window case.
+    segment_sink:
+        Callback invoked in the parent at every barrier that shipped
+        segments, with ``{shard_id: payload}`` where ``payload`` is whatever
+        each shard's :meth:`ShardHarness.drain_segments` returned.  The sink
+        runs between windows — the place to feed a streaming merge cursor /
+        reactive service replicas.  Shards are always presented in ascending
+        id order downstream of the canonical routing, so the sink sees a
+        worker-count-independent sequence.
 
     Returns
     -------
@@ -435,16 +489,22 @@ def run_sharded(
             raise ValueError("lookahead must be positive")
         if until is None:
             raise ValueError("windowed execution needs an explicit horizon (until=...)")
+    if segment_interval is not None:
+        if segment_interval <= 0:
+            raise ValueError("segment_interval must be positive")
+        if until is None:
+            raise ValueError("segment streaming needs an explicit horizon (until=...)")
     workers = max(1, min(int(workers), len(specs)))
 
     start = time.perf_counter()
     if workers == 1:
         results, windows, cross, events = _run_inprocess(
-            specs, until, lookahead, horizon
+            specs, until, lookahead, horizon, segment_interval, segment_sink
         )
     else:
         results, windows, cross, events = _run_multiprocess(
-            specs, until, lookahead, horizon, workers, mp_context
+            specs, until, lookahead, horizon, workers, mp_context,
+            segment_interval, segment_sink,
         )
     wall = time.perf_counter() - start
     return ParallelRunResult(
@@ -482,13 +542,14 @@ def _check_unwindowed_leftovers(
     inbound: Dict[int, List[RemoteMessage]],
     lookahead: Optional[float],
 ) -> None:
-    """Reject cross-shard traffic that a window-less run could never deliver.
+    """Reject cross-shard traffic that a lookahead-less run could not deliver.
 
     With a lookahead, messages still in flight after the final window are
     simply due beyond the horizon — the merged run would not deliver them
-    either.  Without one there is exactly one window, so *any* routed message
-    is lost; that is a misconfigured plan (shards that talk need a
-    lookahead), and losing history silently is the one thing this engine
+    either.  Without one the windows (a single one, or the streaming cadence
+    of ``segment_interval``) give no timeliness guarantee, so *any* routed
+    message means a misconfigured plan (shards that talk need a lookahead),
+    and losing or reordering history silently is the one thing this engine
     promises never to do.
     """
     if lookahead is None and inbound:
@@ -496,7 +557,7 @@ def _check_unwindowed_leftovers(
         example = next(iter(inbound.values()))[0]
         raise SimulationError(
             f"{total} cross-shard message(s) were sent but the run has no "
-            f"lookahead (single window), e.g. {example[1]}->{example[2]} due "
+            f"lookahead, e.g. {example[1]}->{example[2]} due "
             f"at t={example[0]:.6f}; pass lookahead= to run_sharded or plan "
             "shards so they do not communicate"
         )
@@ -508,23 +569,37 @@ def _execute_rounds(
     until: Optional[float],
     lookahead: Optional[float],
     horizon: str,
+    segment_interval: Optional[float] = None,
+    segment_sink: Optional[Callable[[Dict[int, Any]], None]] = None,
 ) -> Tuple[int, int, Dict[int, int]]:
     """Drive the barrier protocol over an abstract shard transport.
 
-    ``transport`` provides ``start() -> (outbound, horizons)`` and
-    ``window(end, inbound) -> (outbound, events, horizons)``; the in-process
-    and multiprocessing engines differ only in how those rounds are executed,
-    so the barrier planning — and therefore the window schedule — is shared
-    verbatim between them (a prerequisite for worker-count invariance).
+    ``transport`` provides ``start() -> (outbound, horizons, segments)`` and
+    ``window(end, inbound) -> (outbound, events, horizons, segments)``; the
+    in-process and multiprocessing engines differ only in how those rounds
+    are executed, so the barrier planning — and therefore the window
+    schedule — is shared verbatim between them (a prerequisite for
+    worker-count invariance).  Segments shipped at a barrier go to
+    ``segment_sink`` before the next window starts, so a streaming merge
+    stays exactly one barrier behind the shards.
     """
-    outbound, horizons = transport.start()
+    ship = segment_sink if segment_sink is not None else (lambda segments: None)
+    outbound, horizons, segments = transport.start()
+    if segments:
+        ship(segments)
     inbound, cross = _route_outbound(outbound, owner)
     windows = 0
     events: Dict[int, int] = {}
 
-    if lookahead is None:
+    # The window pitch: with cross-shard traffic the lookahead bounds how far
+    # a window may safely reach past the event frontier; without it, barriers
+    # exist only as a segment-streaming cadence and any pitch is safe.
+    pitch = lookahead if lookahead is not None else segment_interval
+    if pitch is None:
         # Single window: the embarrassingly parallel case (until may be None).
-        outbound, events, horizons = transport.window(until, inbound)
+        outbound, events, horizons, segments = transport.window(until, inbound)
+        if segments:
+            ship(segments)
         inbound, moved = _route_outbound(outbound, owner)
         cross += moved
         windows = 1
@@ -534,7 +609,7 @@ def _execute_rounds(
     now = 0.0  # every shard's kernel starts at t=0 and lands exactly on `now`
     while now < until:
         if horizon == "fixed":
-            end = min(now + lookahead, until)
+            end = min(now + pitch, until)
         else:
             frontier = _min_horizon(horizons, inbound)
             if frontier is None:
@@ -544,10 +619,13 @@ def _execute_rounds(
                 # Nothing can execute — and therefore nothing can send —
                 # before `frontier`, so a window reaching frontier+lookahead
                 # is exactly as safe as a fixed window of one lookahead.
-                end = min(max(frontier, now) + lookahead, until)
-        outbound, events, horizons = transport.window(end, inbound)
+                end = min(max(frontier, now) + pitch, until)
+        outbound, events, horizons, segments = transport.window(end, inbound)
+        if segments:
+            ship(segments)
         inbound, moved = _route_outbound(outbound, owner)
         cross += moved
+        _check_unwindowed_leftovers(inbound, lookahead)
         windows += 1
         now = end
     return windows, cross, events
@@ -566,13 +644,14 @@ class _InProcessTransport:
         return self._shards.run_window(end, inbound)
 
 
-def _run_inprocess(specs, until, lookahead, horizon):
+def _run_inprocess(specs, until, lookahead, horizon, segment_interval, segment_sink):
     shard_set = _ShardSet(specs)
     sites = shard_set.actor_sites()
     owner, routes = _build_routing(sites, require_unique=lookahead is not None)
     shard_set.set_routes(routes)
     windows, cross, events = _execute_rounds(
-        _InProcessTransport(shard_set), owner, until, lookahead, horizon
+        _InProcessTransport(shard_set), owner, until, lookahead, horizon,
+        segment_interval, segment_sink,
     )
     return shard_set.finalize(), windows, cross, events
 
@@ -588,13 +667,15 @@ class _PipeTransport:
     def start(self):
         outbound: Dict[int, List[RemoteMessage]] = {}
         horizons: Dict[int, Optional[float]] = {}
+        segments: Dict[int, Any] = {}
         for conn in self._pipes:
             conn.send(("start",))
         for conn in self._pipes:
-            _, worker_out, _, worker_horizons = self._recv(conn)
+            _, worker_out, _, worker_horizons, worker_segments = self._recv(conn)
             outbound.update(worker_out)
             horizons.update(worker_horizons)
-        return outbound, horizons
+            segments.update(worker_segments)
+        return outbound, horizons, segments
 
     def window(self, end, inbound):
         for widx, conn in enumerate(self._pipes):
@@ -605,15 +686,20 @@ class _PipeTransport:
         outbound: Dict[int, List[RemoteMessage]] = {}
         events: Dict[int, int] = {}
         horizons: Dict[int, Optional[float]] = {}
+        segments: Dict[int, Any] = {}
         for conn in self._pipes:
-            _, worker_out, worker_events, worker_horizons = self._recv(conn)
+            _, worker_out, worker_events, worker_horizons, worker_segments = self._recv(conn)
             outbound.update(worker_out)
             events.update(worker_events)
             horizons.update(worker_horizons)
-        return outbound, events, horizons
+            segments.update(worker_segments)
+        return outbound, events, horizons, segments
 
 
-def _run_multiprocess(specs, until, lookahead, horizon, workers, mp_context):
+def _run_multiprocess(
+    specs, until, lookahead, horizon, workers, mp_context,
+    segment_interval, segment_sink,
+):
     if mp_context is None:
         methods = multiprocessing.get_all_start_methods()
         mp_context = "fork" if "fork" in methods else methods[0]
@@ -659,7 +745,8 @@ def _run_multiprocess(specs, until, lookahead, horizon, workers, mp_context):
 
         transport = _PipeTransport(pipes, shard_worker, recv)
         windows, cross, events = _execute_rounds(
-            transport, owner, until, lookahead, horizon
+            transport, owner, until, lookahead, horizon,
+            segment_interval, segment_sink,
         )
 
         results: Dict[int, Any] = {}

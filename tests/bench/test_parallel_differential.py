@@ -153,11 +153,13 @@ def test_fig6_sharded_seed_differential():
 def test_fig6_original_configuration_sharded_differential():
     """Figure 6's *original* deployment (shared learner + common ring) shards.
 
-    One shard per log ring plus the common-ring shard; the merge stage
-    reconstructs the shared learner's round-robin delivery order from the
-    recorded per-ring decision streams.  The complete merged sequence, every
-    per-ring stream and every measured rate must be bit-identical between
-    ``workers=1`` (the single-process reference engine) and ``workers=2``.
+    One shard per log ring plus the common-ring shard; a parent-hosted
+    **reactive** dLog replica applies the merged round-robin order barrier by
+    barrier as the shards stream their decision-stream segments.  The
+    complete reactively-applied sequence, every per-ring stream and every
+    measured rate must be bit-identical between ``workers=1`` (the
+    single-process reference engine) and ``workers=2`` — and the reactive
+    order must equal the offline ``replay_streams`` of the same streams.
     """
     kwargs = dict(
         warmup=0.2, duration=0.6, record_deliveries=True, configuration="shared"
@@ -169,6 +171,13 @@ def test_fig6_original_configuration_sharded_differential():
     assert single.series["deliveries"] == sharded.series["deliveries"]
     assert single.metrics["aggregate_ops"] == sharded.metrics["aggregate_ops"]
     assert single.metrics["events_total"] == sharded.metrics["events_total"]
+    # Streaming == offline: the reactive replica applied exactly the sequence
+    # the offline replay reconstructs from the concatenated segments.
+    for result in (single, sharded):
+        assert (
+            result.series["merged_deliveries"]
+            == result.series["merged_deliveries_offline"]
+        ), "reactive merge diverged from the offline replay"
     # The deployment really is the original shape: both log rings plus the
     # rate-leveled common ring feed the merge, and the merged order
     # interleaves the log rings' appends.
@@ -177,6 +186,23 @@ def test_fig6_original_configuration_sharded_differential():
     merged = single.series["merged_deliveries"]["dlog-replica0"]
     assert merged, "merge stage delivered nothing"
     assert {group for group, _, _ in merged} == {0, 1}  # common ring: skips only
+    # Reactive service accounting: the run is windowed (streaming barriers),
+    # the hosted replica executed every merged command, and client-visible
+    # merge latency was recorded — identically across worker counts.
+    for result in (single, sharded):
+        assert result.metrics["barrier_count"] > 1
+        assert result.metrics["reactive_commands_applied"] == float(len(merged))
+        assert result.metrics["reactive_latency_count"] > 0
+        assert result.metrics["reactive_latency_mean_ms"] > 0.0
+        assert result.metrics["merge_stage_s"] >= 0.0
+        assert (
+            result.metrics["shard_wall_clock_s"]
+            == result.metrics["wall_clock_s"] - result.metrics["merge_stage_s"]
+        )
+    assert (
+        single.metrics["reactive_latency_mean_ms"]
+        == sharded.metrics["reactive_latency_mean_ms"]
+    )
 
 
 def test_fig7_original_configuration_sharded_differential():
@@ -198,6 +224,13 @@ def test_fig7_original_configuration_sharded_differential():
     assert single.series["deliveries"] == sharded.series["deliveries"]
     assert single.metrics["aggregate_ops"] == sharded.metrics["aggregate_ops"]
     assert single.metrics["events_total"] == sharded.metrics["events_total"]
+    for result in (single, sharded):
+        assert (
+            result.series["merged_deliveries"]
+            == result.series["merged_deliveries_offline"]
+        ), "reactive merge diverged from the offline replay"
+        assert result.metrics["barrier_count"] > 1
+        assert result.metrics["reactive_latency_count"] > 0
     assert set(single.series["ring_streams"]) == {0, 1, 50}
     assert single.series["ring_streams"][50], "global ring recorded no stream"
     merged = single.series["merged_deliveries"]

@@ -2,9 +2,10 @@
 ``fast_forward`` after checkpoint installs and mid-stream ``subscribe``.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.multiring.merge import DeterministicMerger
+from repro.multiring.merge import DeterministicMerger, MergeCursor, replay_streams
 from repro.paxos.messages import SKIP, ProposalValue
 
 
@@ -130,3 +131,133 @@ class TestOfferFastPathEquivalence:
         for g in (0, 1, 2):
             per_ring = [i for gg, i, _ in out if gg == g]
             assert per_ring == sorted(per_ring)
+
+
+class TestMergeCursor:
+    """Edge cases of the streaming merge cursor (the reactive merge stage)."""
+
+    def _cursor(self, groups, m=1):
+        out = []
+        cursor = MergeCursor(
+            groups,
+            messages_per_round=m,
+            on_deliver=lambda g, i, v: out.append((g, i, v.payload)),
+        )
+        return cursor, out
+
+    # -------------------------------------------------- empty per-ring streams
+    def test_empty_stream_gates_the_round_robin(self):
+        """A subscribed ring that never produces blocks emission past it —
+        the cursor must not invent progress an absent stream could refute."""
+        cursor, out = self._cursor([0, 1])
+        drained = cursor.feed_segments({0: [(0, value("a0")), (1, value("a1"))]},
+                                       watermark=1.0)
+        assert [v.payload for _, _, v in drained] == ["a0"]
+        assert out == [(0, 0, "a0")]
+        assert cursor.pending(0) == 1  # a1 waits for ring 1's first entry
+        # An explicitly empty segment for ring 1 changes nothing but the
+        # watermark — still no emission past the empty ring.
+        drained = cursor.feed_segments({1: []}, watermark=2.0)
+        assert drained == []
+        assert cursor.watermark == 2.0
+
+    def test_replay_of_empty_stream_mapping_matches_cursor(self):
+        streams = {0: [(0, value("a0"))], 1: []}
+        replayed = replay_streams(streams)
+        assert [(g, i, v.payload) for g, i, v in replayed] == [(0, 0, "a0")]
+
+    # ------------------------------------------------------ learner-only rings
+    def test_learner_only_ring_of_skips_advances_but_delivers_nothing(self):
+        """A ring carrying only rate-leveled skips (fig6's common ring, a
+        learner-only subscription) advances the round-robin silently."""
+        cursor, out = self._cursor([0, 99])
+        cursor.feed(0, [(i, value(f"a{i}")) for i in range(3)], watermark=1.0)
+        cursor.feed(99, [(i, skip()) for i in range(3)], watermark=1.0)
+        assert out == [(0, 0, "a0"), (0, 1, "a1"), (0, 2, "a2")]
+        assert cursor.skipped_count == 3
+        assert cursor.delivered_count == 3
+        assert cursor.watermark == 1.0
+
+    # ------------------------------------- trailing SKIP runs and watermarks
+    def test_trailing_skip_run_does_not_emit_past_the_joint_watermark(self):
+        """A stream ending in a run of SKIPs must not let the cursor emit
+        deliveries the other ring has not yet covered: the joint watermark —
+        and the round-robin gate behind it — stays at the slower ring."""
+        cursor, out = self._cursor([0, 1])
+        # Ring 0 complete up to t=5: one payload, then only skips.
+        cursor.feed(0, [(0, value("a0"))] + [(i, skip()) for i in range(1, 6)],
+                    watermark=5.0)
+        # Ring 1 lags: complete only up to t=1, nothing decided yet.
+        cursor.feed(1, [], watermark=1.0)
+        assert cursor.watermark == 1.0
+        assert out == [(0, 0, "a0")]
+        assert [v.payload for _, _, v in cursor.drain()] == ["a0"]
+        # Ring 0's skip run is consumed only as ring 1 catches up — one
+        # round-robin turn per ring-1 entry, never beyond the joint watermark.
+        drained = cursor.feed_segments({1: [(0, value("b0"))]}, watermark=2.0)
+        assert [v.payload for _, _, v in drained] == ["b0"]
+        assert cursor.watermark == 2.0
+        assert cursor.pending(0) > 0, "trailing skips must not all be consumed"
+        # Once ring 1 ends too, the skip tail drains without emitting anything.
+        before = len(out)
+        cursor.feed_segments({1: [(i, skip()) for i in range(1, 6)]}, watermark=5.0)
+        assert len(out) == before
+        assert cursor.watermark == 5.0
+        assert cursor.pending(0) == 0
+
+    def test_watermark_none_until_every_ring_reports(self):
+        cursor, _ = self._cursor([0, 1])
+        assert cursor.watermark is None
+        cursor.feed(0, [], watermark=3.0)
+        assert cursor.watermark is None
+        cursor.feed(1, [], watermark=2.0)
+        assert cursor.watermark == 2.0
+
+    def test_watermark_must_not_move_backwards(self):
+        cursor, _ = self._cursor([0])
+        cursor.feed(0, [], watermark=2.0)
+        with pytest.raises(ValueError, match="backwards"):
+            cursor.feed(0, [], watermark=1.0)
+
+    def test_feeding_an_unsubscribed_ring_raises(self):
+        cursor, _ = self._cursor([0])
+        with pytest.raises(KeyError):
+            cursor.feed(7, [(0, value("x"))])
+
+    # --------------------------------------------- chunking invariance (core)
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(1, 4), min_size=1, max_size=8),
+        st.integers(1, 3),
+    )
+    def test_any_chunking_matches_the_offline_replay(self, chunks, m):
+        """Streaming the same streams in arbitrary segment sizes is
+        bit-identical to the offline replay — the merge-stage invariant the
+        reactive differential tests rely on."""
+        streams = {
+            0: [(i, value(f"a{i}") if i % 3 else skip()) for i in range(10)],
+            1: [(i, value(f"b{i}")) for i in range(7)],
+            2: [(i, skip()) for i in range(9)],
+        }
+        reference = [
+            (g, i, v.payload)
+            for g, i, v in replay_streams(streams, messages_per_round=m)
+        ]
+        cursor, out = self._cursor([0, 1, 2], m=m)
+        positions = {g: 0 for g in streams}
+        barrier = 0
+        chunk_index = 0
+        while any(positions[g] < len(streams[g]) for g in streams):
+            barrier += 1
+            chunk = chunks[chunk_index % len(chunks)]
+            chunk_index += 1
+            segments = {}
+            for g in sorted(streams):
+                at = positions[g]
+                entries = streams[g][at:at + chunk]
+                if entries:
+                    segments[g] = entries
+                    positions[g] += len(entries)
+            cursor.feed_segments(segments, watermark=float(barrier))
+        assert out == reference
+        assert cursor.watermark == float(barrier)

@@ -448,3 +448,195 @@ def test_next_event_time_skips_cancelled():
     assert sim.next_event_time() == 0.75
     sim.run()
     assert sim.next_event_time() is None
+
+
+# ---------------------------------------------------------------------------
+# Bursty barrier-count regression (adaptive event horizons earn their keep)
+# ---------------------------------------------------------------------------
+
+BURST_LATENCY = 0.010
+BURST_GAP = 0.4          # idle stretches 40x the lookahead
+BURST_COUNT = 3
+BURST_SIZE = 5
+BURST_SPACING = 0.001
+BURST_UNTIL = BURST_COUNT * BURST_GAP + 0.1
+
+
+class BurstActor(Actor):
+    """Fires short cross-shard bursts separated by long idle stretches."""
+
+    def __init__(self, env, name, site, peer):
+        super().__init__(env, name, site)
+        self.peer = peer
+        self.received = []
+
+    def on_start(self):
+        for burst in range(BURST_COUNT):
+            for index in range(BURST_SIZE):
+                self.env.simulator.schedule_at(
+                    burst * BURST_GAP + index * BURST_SPACING,
+                    self._fire, burst, index,
+                )
+
+    def _fire(self, burst, index):
+        self.send(self.peer, {"burst": burst, "index": index, "size_bytes": 64})
+
+    def on_message(self, sender, message):
+        self.received.append((round(self.now, 9), message["burst"], message["index"]))
+
+
+class BurstHarness(ShardHarness):
+    def __init__(self, env, actor):
+        super().__init__(env)
+        self.actor = actor
+
+    def start(self):
+        self.actor.on_start()
+
+    def finalize(self):
+        return self.actor.received
+
+
+def build_burst_shard(index):
+    topo = Topology(local_latency=0.00005, local_bandwidth_bps=10e9)
+    topo.add_site("s0")
+    topo.add_site("s1")
+    topo.set_link("s0", "s1", one_way_latency=BURST_LATENCY, bandwidth_bps=1e9)
+    env = Environment(seed=13)
+    Network(env, topo, jitter_fraction=0.0)
+    actor = BurstActor(env, f"burst{index}", f"s{index}", f"burst{1 - index}")
+    return BurstHarness(env, actor)
+
+
+def test_adaptive_beats_fixed_on_bursty_topology():
+    """Regression: adaptive horizons need strictly fewer barriers when bursts
+    are separated by idle stretches far longer than the lookahead.
+
+    This is the shape ``benchmarks/bench_parallel.py`` records in
+    ``BENCH_parallel.json``; asserting it here keeps the property in tier 1
+    instead of only in a benchmark artifact.
+    """
+    runs = {}
+    for horizon in ("fixed", "adaptive"):
+        runs[horizon] = run_sharded(
+            [ShardSpec(i, build_burst_shard, i) for i in range(2)],
+            until=BURST_UNTIL,
+            workers=1,
+            lookahead=BURST_LATENCY,
+            horizon=horizon,
+        )
+    assert runs["adaptive"].results == runs["fixed"].results
+    assert all(
+        len(received) == BURST_COUNT * BURST_SIZE
+        for received in runs["fixed"].results.values()
+    )
+    # The fixed protocol grinds through every lookahead window of every idle
+    # stretch; the adaptive protocol hops each stretch in one barrier.
+    assert runs["fixed"].barrier_count >= int(BURST_UNTIL / BURST_LATENCY)
+    assert runs["adaptive"].barrier_count < runs["fixed"].barrier_count
+    assert runs["adaptive"].barrier_count <= BURST_COUNT * (BURST_SIZE + 2) + 2
+
+
+# ---------------------------------------------------------------------------
+# Decision-stream segment shipping (the streaming-merge transport)
+# ---------------------------------------------------------------------------
+
+class SegmentTickHarness(ShardHarness):
+    """Counting shard that ships its ticks as per-barrier segments."""
+
+    def __init__(self, env, actor, shard_id):
+        super().__init__(env)
+        self.actor = actor
+        self.shard_id = shard_id
+        self._shipped = 0
+
+    def start(self):
+        self.actor.on_start()
+
+    def drain_segments(self):
+        fresh = self.actor.fired[self._shipped:]
+        self._shipped = len(self.actor.fired)
+        return (self.env.now, {self.shard_id: list(fresh)})
+
+    def finalize(self):
+        return self.actor.fired
+
+
+def build_segment_shard(payload):
+    env = Environment(seed=payload)
+    topo = Topology()
+    topo.add_site("dc1")
+    Network(env, topo, jitter_fraction=0.0)
+    actor = CountingActor(env, f"segcounter{payload}", ticks=40)
+    return SegmentTickHarness(env, actor, payload)
+
+
+def _collect_segments(workers):
+    barriers = []
+
+    def sink(segments_by_shard):
+        barriers.append({
+            sid: segments_by_shard[sid] for sid in sorted(segments_by_shard)
+        })
+
+    run = run_sharded(
+        [ShardSpec(i, build_segment_shard, i) for i in range(2)],
+        until=0.05,
+        workers=workers,
+        segment_interval=0.01,
+        segment_sink=sink,
+    )
+    return run, barriers
+
+
+def test_segments_ship_at_every_barrier_and_cover_the_run():
+    """Each barrier ships exactly what ran since the last one, watermarked."""
+    run, barriers = _collect_segments(workers=1)
+    assert run.windows > 1, "segment_interval must drive windowed execution"
+    # Concatenating the per-barrier segments reproduces each shard's full
+    # tick sequence — nothing lost, nothing duplicated, order preserved.
+    for sid in (0, 1):
+        shipped = [
+            tick
+            for barrier in barriers
+            for tick in barrier.get(sid, (None, {}))[1].get(sid, [])
+        ]
+        assert shipped == run.results[sid]
+    # Watermarks are the barrier times: non-decreasing, and every tick in a
+    # barrier's segment is at or before that barrier's watermark.
+    for sid in (0, 1):
+        last = -1.0
+        for barrier in barriers:
+            if sid not in barrier:
+                continue
+            watermark, segments = barrier[sid]
+            assert watermark >= last
+            last = watermark
+            assert all(tick <= watermark for tick in segments.get(sid, []))
+
+
+def test_segment_stream_is_worker_count_invariant():
+    """The sink sees the identical barrier sequence for every worker count."""
+    run1, barriers1 = _collect_segments(workers=1)
+    run2, barriers2 = _collect_segments(workers=2)
+    assert run1.results == run2.results
+    assert run1.windows == run2.windows
+    assert barriers1 == barriers2
+
+
+def test_segment_interval_requires_horizon():
+    with pytest.raises(ValueError, match="segment"):
+        run_sharded(
+            [ShardSpec(i, build_segment_shard, i) for i in range(2)],
+            workers=1,
+            segment_interval=0.01,
+        )
+
+
+def test_cross_traffic_under_segment_windows_still_raises():
+    """Segment barriers give no delivery guarantee: talking shards need a
+    lookahead, and the engine refuses to lose their mail silently."""
+    with pytest.raises(SimulationError, match="lookahead"):
+        run_sharded(
+            specs(), until=HORIZON, workers=1, segment_interval=0.05
+        )
