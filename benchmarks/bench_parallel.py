@@ -29,6 +29,13 @@ root:
   clock *separately* from the shard wall clock — so any speedup claim states
   what it includes — plus the client-visible merge latency fields
   (``reactive_latency_mean_ms`` / ``_p95_ms``).
+* **faulted_determinism** — the shared configuration under a *fixed crash
+  schedule*: the shared learner's in-shard mirrors crash mid-run and
+  restart, their re-emitted stream prefixes are deduped by the
+  incarnation-aware merge, and the reactively merged state must still be
+  bit-identical between ``workers=1`` and ``workers=2`` and equal to the
+  offline replay anchor.  The section also records the stall window the
+  crash opened (``reactive_stall_count`` / ``reactive_stalled_ms``).
 
 Run from the repository root:
 
@@ -170,6 +177,60 @@ def _measure_reactive_shared(warmup: float, duration: float):
     }
 
 
+def _measure_faulted_determinism(warmup: float, duration: float):
+    """Shared configuration under a fixed crash schedule, both worker counts.
+
+    The schedule crashes the shared learner's in-shard mirrors mid-run and
+    restarts them; the merged reactive state must be bit-identical across
+    worker counts and equal to the deduped offline replay, and the crash
+    must show up as a recorded stall window.
+    """
+    crash_at = warmup + duration * 0.3
+    schedule = [(crash_at, "dlog-replica0", duration * 0.25)]
+    results = [
+        run_fig6_sharded(
+            RING_COUNT,
+            workers=workers,
+            warmup=warmup,
+            duration=duration,
+            record_deliveries=True,
+            configuration="shared",
+            crash_schedule=schedule,
+        )
+        for workers in (1, 2)
+    ]
+    identical = all(
+        results[0].series.get(key) is not None
+        and results[0].series.get(key) == results[1].series.get(key)
+        for key in ["merged_deliveries", "ring_streams"]
+    )
+    offline_match = all(
+        r.series["merged_deliveries"] == r.series["merged_deliveries_offline"]
+        for r in results
+    )
+    return {
+        "crash_schedule": [
+            {"at_s": at, "process": name, "down_for_s": down}
+            for at, name, down in schedule
+        ],
+        "merged_deliveries_identical": identical,
+        "offline_anchor_identical": offline_match,
+        "merged_delivery_count": len(
+            results[0].series["merged_deliveries"].get("dlog-replica0", [])
+        ),
+        "reactive_stall_count": int(results[0].metrics["reactive_stall_count"]),
+        "reactive_stalled_ms": round(results[0].metrics["reactive_stalled_ms"], 3),
+        "note": (
+            "fixed (at, process, down_for) crash plan executed inside every "
+            "shard hosting the process; restarted incarnations re-emit "
+            "stream prefixes and the incarnation-aware merge dedups them — "
+            "the reactively merged state is bit-identical across worker "
+            "counts and to the offline effective_streams/replay_streams "
+            "anchor"
+        ),
+    }
+
+
 # ---------------------------------------------------------------------------
 # Barrier-count section (bursty cross-shard traffic, fixed vs adaptive)
 # ---------------------------------------------------------------------------
@@ -266,6 +327,7 @@ def main() -> int:
     identical = _verify_determinism(0.2, 0.6, "independent")
     shared_identical = _verify_determinism(0.2, 0.6, "shared")
     reactive_shared = _measure_reactive_shared(0.2, 0.8 if args.smoke else 2.0)
+    faulted = _measure_faulted_determinism(0.2, 1.0 if args.smoke else 2.5)
 
     payload = {
         "benchmark": "fig6 2-ring point, one shard per ring (independent rings)",
@@ -279,6 +341,7 @@ def main() -> int:
         "shared_deliveries_identical": shared_identical,
         "barrier_count": barrier,
         "reactive_shared": reactive_shared,
+        "faulted_determinism": faulted,
     }
     if insufficient_cores:
         # A 2-worker run on a 1-core box measures process overhead, not the
@@ -318,6 +381,19 @@ def main() -> int:
         failed = True
     if reactive_shared["reactive_commands_applied"] <= 0:
         print("FAIL: reactive merge stage applied no commands", file=sys.stderr)
+        failed = True
+    if not (faulted["merged_deliveries_identical"] and faulted["offline_anchor_identical"]):
+        print(
+            "FAIL: faulted run (fixed crash schedule) not bit-identical "
+            "across worker counts or diverged from the offline anchor",
+            file=sys.stderr,
+        )
+        failed = True
+    if faulted["reactive_stall_count"] < 1:
+        print(
+            "FAIL: crash schedule opened no stall window at the reactive stage",
+            file=sys.stderr,
+        )
         failed = True
     if not barrier["results_identical"]:
         print("FAIL: fixed and adaptive horizons produced different results", file=sys.stderr)

@@ -142,10 +142,14 @@ def main() -> int:
         for shard_id in sorted(segments_by_shard):
             shard_watermark, rings = segments_by_shard[shard_id]
             watermark = shard_watermark if watermark is None else min(watermark, shard_watermark)
-            for ring, entries in rings.items():
-                barrier_segments.setdefault(ring, []).extend(entries)
-                streams.setdefault(ring, []).extend(entries)
-        host.ingest(barrier_segments, watermark=watermark)
+            for ring, segment in rings.items():
+                # One shard per ring: each incarnation-tagged RingSegment
+                # arrives exactly once.  No crashes here, so the whole-run
+                # stream is just the concatenated entries.
+                barrier_segments[ring] = segment
+                streams.setdefault(ring, []).extend(segment.entries)
+        host.ingest(barrier_segments, watermark=watermark,
+                    covered=sorted(barrier_segments))
         # Merged state is live: a client could be answered right here.
         progress.append((host.watermark, host.commands_applied,
                          merged_replica.entry_count()))

@@ -32,11 +32,16 @@ or in ``k`` worker processes, windowed execution runs the same events as a
 single window, and the merge stage is a pure function of the streamed
 segments.  The reactive merged order is additionally bit-identical to the
 offline :func:`~repro.multiring.merge.replay_streams` of the concatenated
-segments (``series['merged_deliveries_offline']``).
-``tests/bench/test_parallel_differential.py`` asserts all of this on full
-per-learner delivery sequences, and ``benchmarks/bench_parallel.py`` records
-the wall-clock speedup — with the merge/reactive stage accounted separately
-from the shard stage — in ``BENCH_parallel.json``.
+segments (``series['merged_deliveries_offline']``).  This holds under
+faults too: a fixed ``crash_schedule`` crashes and restarts the shared
+learner's in-shard mirrors at scheduled simulated instants, the restarted
+incarnations re-emit their stream prefixes, and the merge stage's
+incarnation-aware dedup reconstructs the same merged state whatever the
+worker count.  ``tests/bench/test_parallel_differential.py`` asserts all of
+this on full per-learner delivery sequences, and
+``benchmarks/bench_parallel.py`` records the wall-clock speedup — with the
+merge/reactive stage accounted separately from the shard stage, plus a
+faulted-run determinism section — in ``BENCH_parallel.json``.
 """
 
 from __future__ import annotations
@@ -48,7 +53,12 @@ from ..core.amcast import AtomicMulticast
 from ..core.client import ClosedLoopClient, OpenLoopClient
 from ..core.config import MultiRingConfig, global_config
 from ..core.smr import ProposerFrontend, ReactiveReplicaHost
-from ..multiring.merge import RingSegmentBuffer, replay_streams
+from ..multiring.merge import (
+    RingSegment,
+    RingSegmentBuffer,
+    effective_streams,
+    replay_streams,
+)
 from ..multiring.process import MultiRingProcess
 from ..net.ring import RingMember
 from ..paxos.messages import SKIP
@@ -110,16 +120,24 @@ def _delivery_digest(recorder) -> Dict[str, List[tuple]]:
 # merge stage
 # ---------------------------------------------------------------------------
 
-#: Ring output accumulated in the parent from the shards' streamed segments:
-#: ring id → ordered ``(instance, value)`` pairs, skips included (pre-merge).
+#: Flattened per-ring streams: ring id → ordered ``(instance, value)`` pairs,
+#: skips included (pre-merge).
 RingStreams = Dict[int, List[Tuple[int, Any]]]
 
+#: Ring output accumulated in the parent from the shards' streamed segments:
+#: ring id → incarnation-tagged :class:`~repro.multiring.merge.RingSegment`
+#: runs in arrival order.  A crashed-and-restarted in-shard learner re-emits
+#: its ring's prefix under a bumped incarnation;
+#: :func:`~repro.multiring.merge.effective_streams` flattens the runs into
+#: the deduped :data:`RingStreams` the offline replay consumes.
+RingHistory = Dict[int, List[RingSegment]]
 
-def _stream_digest(streams: RingStreams) -> Dict[int, List[tuple]]:
-    """Per-ring stream digests (stable payload keys, skips marked)."""
+
+def _stream_digest(history: RingHistory) -> Dict[int, List[tuple]]:
+    """Per-ring deduped stream digests (stable payload keys, skips marked)."""
     return {
         ring: [(instance, _stable_payload_key(value.payload)) for instance, value in stream]
-        for ring, stream in streams.items()
+        for ring, stream in effective_streams(history).items()
     }
 
 
@@ -180,7 +198,7 @@ class _ReactiveMergeStage:
         collect_streams: bool,
     ) -> None:
         self.hosts = hosts
-        self.streams: RingStreams = {}
+        self.streams: RingHistory = {}
         self._collect = collect_streams
         self.seconds = 0.0
         self.barriers_fed = 0
@@ -188,24 +206,52 @@ class _ReactiveMergeStage:
     def sink(self, segments_by_shard: Dict[int, Any]) -> None:
         started = time.perf_counter()
         watermark: Optional[float] = None
-        merged_segments: Dict[int, List[Tuple[int, Any]]] = {}
+        merged_segments: Dict[int, RingSegment] = {}
         for shard_id in sorted(segments_by_shard):
             shard_watermark, rings = segments_by_shard[shard_id]
             if watermark is None or shard_watermark < watermark:
                 watermark = shard_watermark
-            for ring, entries in rings.items():
-                merged_segments.setdefault(ring, []).extend(entries)
+            for ring, segment in rings.items():
+                # Rings are disjoint across shards: each ring's segment
+                # arrives from exactly one shard per barrier.  A ring whose
+                # in-shard learner is down is absent from its shard's cut, so
+                # it drops out of ``covered`` and the hosts' joint watermark
+                # stalls honestly until the learner restarts.
+                merged_segments[ring] = segment
                 if self._collect:
-                    self.streams.setdefault(ring, []).extend(entries)
+                    self._record(ring, segment)
+        covered = sorted(merged_segments)
         for name in sorted(self.hosts):
             host = self.hosts[name]
             subscribed = set(host.groups)
             host.ingest(
-                {r: e for r, e in merged_segments.items() if r in subscribed},
+                {r: s for r, s in merged_segments.items() if r in subscribed},
                 watermark=watermark,
+                covered=[r for r in covered if r in subscribed],
             )
         self.barriers_fed += 1
         self.seconds += time.perf_counter() - started
+
+    def _record(self, ring: int, segment: RingSegment) -> None:
+        """Accumulate a barrier's segment into the per-ring incarnation runs.
+
+        Segments of one incarnation are contiguous (the buffer's resume
+        position advances by exactly the entries cut), so they coalesce into
+        a single run; a bumped incarnation opens a new run whose re-emitted
+        prefix ``effective_streams`` dedups at replay time.
+        """
+        runs = self.streams.setdefault(ring, [])
+        last = runs[-1] if runs else None
+        if last is not None and last.incarnation == segment.incarnation:
+            last.entries.extend(segment.entries)
+        else:
+            runs.append(
+                RingSegment(
+                    incarnation=segment.incarnation,
+                    start=segment.start,
+                    entries=list(segment.entries),
+                )
+            )
 
     # ------------------------------------------------------------- reporting
     def delivery_digests(self) -> Dict[str, List[tuple]]:
@@ -216,14 +262,19 @@ class _ReactiveMergeStage:
         }
 
     def offline_digests(self, messages_per_round: int) -> Dict[str, List[tuple]]:
-        """Offline ``replay_streams`` digests over the accumulated streams.
+        """Offline ``replay_streams`` digests over the accumulated history.
 
         The differential anchor: must be bit-identical to
-        :meth:`delivery_digests` (streaming and offline merges agree).
+        :meth:`delivery_digests` (streaming and offline merges agree).  The
+        incarnation runs are flattened through
+        :func:`~repro.multiring.merge.effective_streams` first, so a crashed
+        producer's re-emitted prefixes dedup exactly as the streaming cursor
+        deduped them barrier by barrier.
         """
+        flat = effective_streams(self.streams)
         return {
             name: _merge_stage(
-                {ring: self.streams.get(ring, []) for ring in host.groups},
+                {ring: flat.get(ring, []) for ring in host.groups},
                 messages_per_round=messages_per_round,
             )
             for name, host in self.hosts.items()
@@ -239,17 +290,43 @@ class _ReactiveMergeStage:
         result.metrics["reactive_latency_mean_ms"] = stats["mean_ms"]
         result.metrics["reactive_latency_p95_ms"] = stats["p95_ms"]
         result.metrics["reactive_latency_count"] = stats["count"]
+        result.metrics["reactive_stall_count"] = stats["stall_count"]
+        result.metrics["reactive_stalled_ms"] = stats["stalled_ms"]
         result.metrics["reactive_commands_applied"] = float(
             sum(host.commands_applied for host in self.hosts.values())
         )
+
+
+def _schedule_crashes(system: AtomicMulticast, schedule: Any) -> None:
+    """Install a fixed ``(at, process, down_for)`` crash plan inside a shard.
+
+    Only names that exist in this shard are touched.  The shared learner is
+    mirrored into every shard under one name, so a single schedule entry
+    crashes the whole logical process across shards at the same simulated
+    instant — deterministically, whatever the worker count.  The crashed
+    mirror's segment buffer marks its rings down (they vanish from the
+    barrier cuts until restart), and the restarted incarnation's gap repair
+    re-emits the decided prefix for the parent-side cursor to dedup.
+    """
+    sim = system.env.simulator
+    for at, name, down_for in schedule or ():
+        if not system.env.has_actor(name):
+            continue
+        sim.call_later(float(at), system.crash_process, name)
+        sim.call_later(float(at) + float(down_for), system.restart_process, name)
 
 
 # ---------------------------------------------------------------------------
 # Figure 6 (vertical scalability) — one shard per ring+disk
 # ---------------------------------------------------------------------------
 
-def _fig6_config() -> MultiRingConfig:
-    """The Figure 6 configuration, mirrored from ``run_fig6_point``."""
+def _fig6_config(faulted: bool = False) -> MultiRingConfig:
+    """The Figure 6 configuration, mirrored from ``run_fig6_point``.
+
+    ``faulted`` enables the learner gap-repair timer: a crash-schedule run
+    restarts in-shard learners, and the fresh incarnation must re-fetch the
+    decided prefix from the acceptors before it can re-emit its stream.
+    """
     return MultiRingConfig(
         storage_mode=StorageMode.ASYNC_HDD,
         batching_enabled=True,
@@ -258,6 +335,7 @@ def _fig6_config() -> MultiRingConfig:
         max_rate=4000.0,
         checkpoint_interval=None,
         trim_interval=None,
+        gap_repair_interval=0.1 if faulted else None,
     )
 
 
@@ -277,7 +355,7 @@ def _build_fig6_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
     from ..dlog.service import DLogService
     from ..workloads.log import single_log
 
-    config = _fig6_config()
+    config = _fig6_config(faulted=bool(payload.get("crash_schedule")))
     system = AtomicMulticast(
         topology=single_datacenter(), config=config, seed=payload["seed"]
     )
@@ -306,6 +384,7 @@ def _build_fig6_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
             metric_prefix=f"fig6.ring{log_id}",
         )
 
+    _schedule_crashes(system, payload.get("crash_schedule"))
     metric_names = [f"fig6.ring{log_id}" for log_id in log_ids]
     harness = ShardedMeasurement(
         system,
@@ -333,7 +412,7 @@ def _build_fig6_common_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
     stream is exactly what the merge stage needs to advance the round-robin
     past the idle ring.
     """
-    config = _fig6_config()
+    config = _fig6_config(faulted=bool(payload.get("crash_schedule")))
     system = AtomicMulticast(
         topology=single_datacenter(), config=config, seed=payload["seed"]
     )
@@ -351,6 +430,7 @@ def _build_fig6_common_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
         for f in frontends
     ] + [RingMember(name=learner.name, proposer=False, acceptor=False, learner=True)]
     system.create_ring(FIG6_COMMON_RING_ID, members, config=config)
+    _schedule_crashes(system, payload.get("crash_schedule"))
 
     harness = ShardedMeasurement(
         system,
@@ -403,6 +483,7 @@ def run_fig6_sharded(
     record_deliveries: bool = False,
     configuration: str = "independent",
     segment_interval: float = DEFAULT_SEGMENT_INTERVAL,
+    crash_schedule: Optional[Sequence[Tuple[float, str, float]]] = None,
 ) -> ExperimentResult:
     """Figure 6 point with one shard per ring, spread over ``workers`` cores.
 
@@ -428,6 +509,16 @@ def run_fig6_sharded(
     :func:`~repro.multiring.merge.replay_streams` of the same streams, which
     must be bit-identical) and ``series['ring_streams']`` (the per-ring
     decision-stream digests).
+
+    ``crash_schedule`` (shared configuration only) is a fixed list of
+    ``(at, process, down_for)`` fault points: the named process — typically
+    the shared learner, whose name is mirrored into every shard — crashes at
+    simulated time ``at`` and restarts ``down_for`` seconds later, in every
+    shard that hosts it.  The schedule is part of the deterministic event
+    plan, so a faulted run is still bit-identical across worker counts; the
+    restarted learner's re-emitted stream prefix is deduped by the reactive
+    merge stage (incarnation tags), and the stall the crash opens shows up
+    in ``reactive_stall_count`` / ``reactive_stalled_ms``.
     """
     if ring_count < 1:
         raise ValueError("ring_count must be >= 1")
@@ -436,6 +527,8 @@ def run_fig6_sharded(
             f"configuration must be 'independent' or 'shared', not {configuration!r}"
         )
     shared = configuration == "shared"
+    if crash_schedule and not shared:
+        raise ValueError("crash_schedule requires configuration='shared'")
     payload_base = {
         "clients_per_ring": clients_per_ring,
         "warmup": warmup,
@@ -444,6 +537,7 @@ def run_fig6_sharded(
         "append_bytes": append_bytes,
         "record_deliveries": record_deliveries,
         "stream_segments": shared,
+        "crash_schedule": [tuple(point) for point in crash_schedule or ()] or None,
     }
     specs = [
         ShardSpec(
@@ -453,7 +547,7 @@ def run_fig6_sharded(
         )
         for ring in range(ring_count)
     ]
-    config = _fig6_config()
+    config = _fig6_config(faulted=bool(crash_schedule))
     if shared:
         specs.append(
             ShardSpec(
@@ -481,6 +575,7 @@ def run_fig6_sharded(
             "rings": ring_count,
             "workers": run.workers,
             "configuration": configuration,
+            "faulted": bool(crash_schedule),
         },
         rate_keys={
             ring: [f"fig6.ring{ring}.throughput.rate"] for ring in range(ring_count)
@@ -502,13 +597,18 @@ def run_fig6_sharded(
 # Figure 7 (horizontal scalability) — one shard per region
 # ---------------------------------------------------------------------------
 
-def _fig7_config() -> MultiRingConfig:
-    """The Figure 7 configuration, mirrored from ``run_fig7_point``."""
+def _fig7_config(faulted: bool = False) -> MultiRingConfig:
+    """The Figure 7 configuration, mirrored from ``run_fig7_point``.
+
+    ``faulted`` enables the learner gap-repair timer (see
+    :func:`_fig6_config`).
+    """
     return global_config(storage_mode=StorageMode.ASYNC_SSD).with_(
         batching_enabled=True,
         batch_max_bytes=32 * 1024,
         checkpoint_interval=None,
         trim_interval=None,
+        gap_repair_interval=0.1 if faulted else None,
     )
 
 
@@ -532,7 +632,7 @@ def _build_fig7_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
 
     region = payload["region"]
     group = payload["group"]
-    config = _fig7_config()
+    config = _fig7_config(faulted=bool(payload.get("crash_schedule")))
     system = AtomicMulticast(
         topology=ec2_global([region]), config=config, seed=payload["seed"]
     )
@@ -564,6 +664,7 @@ def _build_fig7_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
         site=region,
         metric_prefix=f"fig7.{region}",
     )
+    _schedule_crashes(system, payload.get("crash_schedule"))
     harness = ShardedMeasurement(
         system,
         MeasurementWindow(warmup=payload["warmup"], duration=payload["duration"]),
@@ -593,7 +694,7 @@ def _build_fig7_global_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
     what the merge stage needs to advance each replica's round-robin.
     """
     regions = list(payload["regions"])
-    config = _fig7_config()
+    config = _fig7_config(faulted=bool(payload.get("crash_schedule")))
     system = AtomicMulticast(
         topology=ec2_global(regions), config=config, seed=payload["seed"]
     )
@@ -610,6 +711,7 @@ def _build_fig7_global_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
         for f in frontends
     ] + [RingMember(name=learner.name, proposer=False, acceptor=False, learner=True)]
     system.create_ring(FIG7_GLOBAL_RING_ID, members, config=config)
+    _schedule_crashes(system, payload.get("crash_schedule"))
 
     harness = ShardedMeasurement(
         system,
@@ -673,6 +775,7 @@ def run_fig7_sharded(
     record_deliveries: bool = False,
     configuration: str = "independent",
     segment_interval: float = DEFAULT_SEGMENT_INTERVAL,
+    crash_schedule: Optional[Sequence[Tuple[float, str, float]]] = None,
 ) -> ExperimentResult:
     """Figure 7 point with one shard per region, spread over ``workers`` cores.
 
@@ -688,6 +791,11 @@ def run_fig7_sharded(
     alongside the bit-identical offline replay
     (``series['merged_deliveries_offline']``) and the per-ring stream
     digests (``series['ring_streams']``).
+
+    ``crash_schedule`` (shared configuration only) injects fixed
+    ``(at, process, down_for)`` crash/restart points into every shard that
+    hosts the named process — see :func:`run_fig6_sharded` for the
+    semantics; the faulted run stays bit-identical across worker counts.
     """
     if not 1 <= region_count <= len(EC2_REGIONS):
         raise ValueError(f"region_count must be within 1..{len(EC2_REGIONS)}")
@@ -696,6 +804,8 @@ def run_fig7_sharded(
             f"configuration must be 'independent' or 'shared', not {configuration!r}"
         )
     shared = configuration == "shared"
+    if crash_schedule and not shared:
+        raise ValueError("crash_schedule requires configuration='shared'")
     regions = list(EC2_REGIONS[:region_count])
     payload_base = {
         "key_count": key_count,
@@ -706,6 +816,7 @@ def run_fig7_sharded(
         "update_bytes": update_bytes,
         "record_deliveries": record_deliveries,
         "stream_segments": shared,
+        "crash_schedule": [tuple(point) for point in crash_schedule or ()] or None,
     }
     specs = [
         ShardSpec(
@@ -715,7 +826,7 @@ def run_fig7_sharded(
         )
         for group, region in enumerate(regions)
     ]
-    config = _fig7_config()
+    config = _fig7_config(faulted=bool(crash_schedule))
     if shared:
         specs.append(
             ShardSpec(
@@ -744,6 +855,7 @@ def run_fig7_sharded(
             "regions": region_count,
             "workers": run.workers,
             "configuration": configuration,
+            "faulted": bool(crash_schedule),
         },
         rate_keys={
             group: [f"fig7.{region}.throughput.rate"]

@@ -144,7 +144,13 @@ class ShardedMeasurement(ShardHarness):
 
     A builder that installs a segment buffer via :meth:`stream_segments`
     turns the harness into a streaming-merge producer: every barrier ships
-    ``(shard time, segments cut since the last barrier)`` to the parent.
+    ``(shard time, segments cut since the last barrier)`` to the parent,
+    where the segments are incarnation-tagged
+    :class:`~repro.multiring.merge.RingSegment` values — crash/restart of
+    the in-shard learner bumps the incarnation and the parent-side cursor
+    dedups the re-emitted stream prefix.  Rings whose learner is down are
+    omitted from the cut (uncovered), so the parent's joint watermark stalls
+    honestly instead of over-promising freshness.
 
     ``extra`` lets a builder attach additional picklable results (delivery
     digests for the differential tests, event counts, ...).

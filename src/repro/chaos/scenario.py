@@ -32,7 +32,13 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..core.amcast import AtomicMulticast
 from ..core.client import Command
 from ..core.config import MultiRingConfig
-from ..multiring.merge import MergeCursor, replay_streams
+from ..multiring.merge import (
+    MergeCursor,
+    MergeDivergenceError,
+    RingSegment,
+    effective_streams,
+    replay_streams,
+)
 from ..multiring.process import MultiRingProcess
 from ..multiring.sharding import ring_components
 from ..net.message import ClientRequest, ClientResponse
@@ -130,6 +136,7 @@ def _generate_amcast_spec(rng: random.Random, seed: int) -> Dict[str, Any]:
     names = sorted(processes)
 
     rings: Dict[int, List[List[str]]] = {}
+    shared_learner: Optional[str] = None
     if disjoint:
         pool = names[:]
         rng.shuffle(pool)
@@ -181,7 +188,7 @@ def _generate_amcast_spec(rng: random.Random, seed: int) -> Dict[str, Any]:
         allow_reconfig=True,
         rings=rings,
     )
-    return {
+    spec = {
         "sites": sites,
         "processes": processes,
         "rings": rings,
@@ -192,6 +199,45 @@ def _generate_amcast_spec(rng: random.Random, seed: int) -> Dict[str, Any]:
         "messages": messages,
         "schedule": schedule.to_dicts(),
     }
+    # Fault families aimed at the fault-tolerant reactive merge, drawn from a
+    # third seed-derived stream so every pre-existing draw — main and shared —
+    # stays byte-for-byte identical.  They deliberately target the
+    # shared-learner deployments: mid-run crash/restart of the shared learner
+    # itself (its re-emitted stream prefixes exercise the incarnation dedup),
+    # gray failures (the learner's disks turn slow-but-alive), and WAN
+    # topologies with asymmetric link latency.
+    fault_rng = random.Random(seed ^ 0xFA17B)
+    if disjoint and len(sites) >= 2 and fault_rng.random() < 0.4:
+        spec["wan_asymmetric"] = True
+    if shared_learner is not None:
+        reconfigured = {
+            event["params"].get("process")
+            for event in spec["schedule"]
+            if event["action"] in ("remove_from_ring", "add_to_ring")
+        }
+        draw = fault_rng.random()
+        if draw < 0.35 and shared_learner not in reconfigured:
+            # Crash the shared learner mid-run.  Learner-only, so no quorum
+            # is at risk even when the window overlaps another crash; restart
+            # well before the horizon so gap repair can re-emit the prefix.
+            start = round(fault_rng.uniform(0.2, horizon * 0.6), 6)
+            duration = round(fault_rng.uniform(0.15, 0.35), 6)
+            schedule.crash(start, shared_learner)
+            schedule.restart(start + duration, shared_learner)
+            spec["schedule"] = schedule.to_dicts()
+        elif draw < 0.60:
+            # Gray failure: the shared learner stays alive but its storage
+            # crawls.  The trailing "." keeps p1 from matching p1x's disks.
+            start = round(fault_rng.uniform(0.1, horizon * 0.7), 6)
+            duration = round(fault_rng.uniform(0.2, 0.5), 6)
+            schedule.disk_spike(
+                start,
+                factor=round(fault_rng.uniform(5.0, 40.0), 3),
+                match=f"{shared_learner}.",
+            )
+            schedule.disk_restore(start + duration, match=f"{shared_learner}.")
+            spec["schedule"] = schedule.to_dicts()
+    return spec
 
 
 def _generate_kvstore_spec(rng: random.Random) -> Dict[str, Any]:
@@ -390,7 +436,9 @@ def _chaos_config(spec: Dict[str, Any], **overrides: Any) -> MultiRingConfig:
     return MultiRingConfig(**base)
 
 
-def _build_topology(sites: List[str], rng: random.Random) -> Topology:
+def _build_topology(
+    sites: List[str], rng: random.Random, asymmetric: bool = False
+) -> Topology:
     if len(sites) <= 1:
         return single_datacenter(sites[0] if sites else "dc1")
     topo = Topology(local_latency=0.00005, local_bandwidth_bps=10e9)
@@ -398,7 +446,17 @@ def _build_topology(sites: List[str], rng: random.Random) -> Topology:
         topo.add_site(site)
     for i, a in enumerate(sites):
         for b in sites[i + 1:]:
-            topo.set_link(a, b, one_way_latency=rng.uniform(0.001, 0.02), bandwidth_bps=1e9)
+            latency = rng.uniform(0.001, 0.02)
+            if asymmetric:
+                # WAN shape: the two directions of a link draw independent
+                # latencies (the extra draw only happens for specs carrying
+                # the flag, so symmetric scenarios keep their exact draws).
+                topo.set_link(a, b, one_way_latency=latency,
+                              bandwidth_bps=1e9, symmetric=False)
+                topo.set_link(b, a, one_way_latency=rng.uniform(0.001, 0.02),
+                              bandwidth_bps=1e9, symmetric=False)
+            else:
+                topo.set_link(a, b, one_way_latency=latency, bandwidth_bps=1e9)
     return topo
 
 
@@ -428,10 +486,15 @@ def _run_amcast(
     shards run the same simulated timeline.  When the sub-spec names
     ``merge_learners`` (learners shared with other shards), their per-ring
     decision streams are recorded into ``stream_sink`` for the parent's
-    merge stage.
+    merge stage — segmented by incarnation
+    (:meth:`~repro.multiring.process.MultiRingProcess.record_ring_history`),
+    so a learner that crashed and re-emitted stream prefixes still merges
+    correctly at the parent.
     """
     rng = random.Random(spec["seed"] ^ 0x70B0)
-    topology = _build_topology(spec["sites"], rng)
+    topology = _build_topology(
+        spec["sites"], rng, asymmetric=spec.get("wan_asymmetric", False)
+    )
     config = _chaos_config(spec)
     system = AtomicMulticast(topology=topology, config=config, seed=spec["seed"])
     processes = {
@@ -452,7 +515,7 @@ def _run_amcast(
         for name in spec.get("merge_learners", ()):
             process = processes.get(name)
             if process is not None:
-                process.record_ring_streams(into=stream_sink.setdefault(name, {}))
+                process.record_ring_history(into=stream_sink.setdefault(name, {}))
 
     schedule = FaultSchedule.from_dicts(spec["schedule"])
     schedule.apply(system)
@@ -642,7 +705,8 @@ class _AmcastShard(ShardHarness):
                 for name, trace in recorder.traces.items()
             },
             # Per-ring streams of learners shared with other shards (raw
-            # ProposalValues, skips included) for the parent's merge stage.
+            # ProposalValues, skips included), segmented by the learner's
+            # incarnation, for the parent's merge stage.
             "streams": self._streams,
             "crashed": sorted(recorder.crashed_ever),
         }
@@ -672,28 +736,37 @@ def _expected_ring_order(stream: List[Tuple[int, Any]]) -> List[Any]:
 
 def _reactive_merge_check(
     name: str,
-    streams: Dict[int, List[Tuple[int, Any]]],
+    history: Dict[int, List[RingSegment]],
     messages_per_round: int,
 ) -> Tuple[List[Tuple[int, int, Any]], List[Violation], Dict[str, Any]]:
     """Validate a shared learner's merge through the *reactive* subsystem.
 
-    Instead of trusting an offline digest, the recorded per-ring streams are
-    chunked into decision-stream segments (varying sizes, with watermarks —
-    the shape shards ship at barriers) and fed through a streaming
-    :class:`~repro.multiring.merge.MergeCursor` driving a real MRP-Store
-    replica: every merged delivery inserts its payload as a key, exactly as
-    a reactive shared-learner service would make it readable.  Three
-    invariants are checked against that live state:
+    Instead of trusting an offline digest, the recorded per-ring streams —
+    segmented by the producing learner's incarnation — are chunked into
+    decision-stream segments (varying sizes, incarnation/resume tags and
+    watermarks: the exact shape shards ship at barriers) and fed through a
+    streaming :class:`~repro.multiring.merge.MergeCursor` driving a real
+    MRP-Store replica: every merged delivery inserts its payload as a key,
+    exactly as a reactive shared-learner service would make it readable.
+    This holds for *every* shared-learner draw, fault-touched or not: a
+    learner that crashed mid-run re-emits stream prefixes under its next
+    incarnation, and the cursor's incarnation-aware dedup must absorb them.
+    Four invariants are checked against that live state:
 
     * **read-your-writes** — every payload delivered by a barrier is
       readable from the store immediately after that barrier's ingest;
     * **kvstore convergence** — the final store holds exactly the distinct
       delivered payloads (nothing lost, nothing invented);
     * **merge-stream agreement** — the streaming delivery order is
-      bit-identical to the offline :func:`replay_streams` of the same
-      streams, and each delivered ring prefix appears in recorded-stream
-      order (a ring's undelivered tail may legitimately stay pending when
-      the streams end unevenly at the horizon cut).
+      bit-identical to the offline :func:`replay_streams` of the deduped
+      :func:`effective_streams`, and each delivered ring prefix appears in
+      recorded-stream order (a ring's undelivered tail may legitimately stay
+      pending when the streams end unevenly at the horizon cut);
+    * **no divergence** — a re-emitted ``(ring, instance)`` deciding a
+      *different* value than the original emission is consensus breakage;
+      the cursor surfaces it as
+      :class:`~repro.multiring.merge.MergeDivergenceError` and the oracle
+      turns it into a hard violation.
 
     Returns ``(digest, violations, stats)`` where ``digest`` is the familiar
     ``(group, instance, payload)`` sequence (what the determinism tests
@@ -718,24 +791,42 @@ def _reactive_merge_check(
         )
         merged.append((group, instance, payload))
 
-    groups = sorted(streams)
+    groups = sorted(history)
     cursor = MergeCursor(groups, messages_per_round=messages_per_round,
                          on_deliver=apply, retain_history=False)
     violations: List[Violation] = []
-    positions = {group: 0 for group in groups}
+    #: Per-ring feed position: (incarnation-run index, offset into its entries).
+    positions: Dict[int, Tuple[int, int]] = {group: (0, 0) for group in groups}
+
+    def exhausted(group: int) -> bool:
+        run, offset = positions[group]
+        runs = history[group]
+        while run < len(runs) and offset >= len(runs[run].entries):
+            run, offset = run + 1, 0
+        positions[group] = (run, offset)
+        return run >= len(runs)
+
     barrier = 0
-    while any(positions[g] < len(streams[g]) for g in groups):
+    while not all(exhausted(group) for group in groups):
         barrier += 1
         chunk = 1 + (barrier % 4)  # vary segment sizes: exercise incrementality
-        segments = {}
+        segments: Dict[int, RingSegment] = {}
         for group in groups:
-            at = positions[group]
-            entries = streams[group][at:at + chunk]
-            if entries:
-                segments[group] = entries
-                positions[group] = at + len(entries)
+            if exhausted(group):
+                continue
+            run_index, offset = positions[group]
+            run = history[group][run_index]
+            entries = run.entries[offset:offset + chunk]
+            segments[group] = RingSegment(
+                incarnation=run.incarnation, start=offset, entries=entries
+            )
+            positions[group] = (run_index, offset + len(entries))
         before = len(merged)
-        cursor.feed_segments(segments, watermark=float(barrier))
+        try:
+            cursor.feed_segments(segments, watermark=float(barrier))
+        except MergeDivergenceError as exc:
+            violations.append(Violation("merge-stream-divergence", f"{name}: {exc}"))
+            break
         for group, instance, payload in merged[before:]:
             entry = replica.store.read(repr(payload))
             if entry is None:
@@ -753,36 +844,47 @@ def _reactive_merge_check(
             f"{name}: reactive store holds {replica.entry_count()} entries, "
             f"expected {len(distinct)} distinct delivered payloads",
         ))
-    offline = [
-        (group, instance, value.payload)
-        for group, instance, value in replay_streams(
-            streams, messages_per_round=messages_per_round
-        )
-    ]
-    if merged != offline:
-        violations.append(Violation(
-            "merge-stream-divergence",
-            f"{name}: streaming merge delivered {len(merged)} entries, "
-            f"offline replay {len(offline)}; sequences diverge",
-        ))
-    for group in groups:
-        observed = [payload for g, _, payload in merged if g == group]
-        expected = _expected_ring_order(streams[group])
-        # Prefix comparison: the round-robin legitimately leaves a ring's
-        # tail pending when the streams end unevenly at the horizon cut (the
-        # offline replay leaves it pending too, which the divergence check
-        # above pins down) — only *reordering* within what was delivered is
-        # a violation.
-        if observed != expected[:len(observed)]:
+    try:
+        streams = effective_streams(history)
+    except MergeDivergenceError as exc:
+        violations.append(Violation("merge-stream-divergence", f"{name}: {exc}"))
+        streams = None
+    if streams is not None:
+        offline = [
+            (group, instance, value.payload)
+            for group, instance, value in replay_streams(
+                streams, messages_per_round=messages_per_round
+            )
+        ]
+        if merged != offline:
             violations.append(Violation(
-                "reactive-merge-order",
-                f"{name}: ring {group} payloads left the merge out of "
-                "recorded-stream order",
+                "merge-stream-divergence",
+                f"{name}: streaming merge delivered {len(merged)} entries, "
+                f"offline replay {len(offline)}; sequences diverge",
             ))
+        for group in groups:
+            observed = [payload for g, _, payload in merged if g == group]
+            expected = _expected_ring_order(streams[group])
+            # Prefix comparison: the round-robin legitimately leaves a ring's
+            # tail pending when the streams end unevenly at the horizon cut
+            # (the offline replay leaves it pending too, which the divergence
+            # check above pins down) — only *reordering* within what was
+            # delivered is a violation.
+            if observed != expected[:len(observed)]:
+                violations.append(Violation(
+                    "reactive-merge-order",
+                    f"{name}: ring {group} payloads left the merge out of "
+                    "recorded-stream order",
+                ))
     stats = {
         "barriers": barrier,
         "applied": len(merged),
         "store_entries": replica.entry_count(),
+        "deduped": cursor.duplicates_dropped,
+        "incarnations": {
+            group: history[group][-1].incarnation if history[group] else 0
+            for group in groups
+        },
     }
     return merged, violations, stats
 
@@ -800,14 +902,17 @@ def _run_amcast_sharded(
 
     Learners shared across components are mirrored into every shard that
     hosts one of their rings; their per-shard partial digests are keyed
-    ``name@shard<id>``, and — unless a fault touched the learner mid-run —
-    the *reactive* merge stage streams the shards' recorded per-ring streams
-    segment by segment through a :class:`~repro.multiring.merge.MergeCursor`
-    into a live MRP-Store state machine, validating read-your-writes and
-    store convergence against that merged state (see
-    :func:`_reactive_merge_check`) and recording the learner's
-    cross-component delivery digest under its plain name — exactly the
-    round-robin order its single-process merger produces from those streams.
+    ``name@shard<id>``, and the *reactive* merge stage streams the shards'
+    recorded per-ring streams — segmented by incarnation — through a
+    :class:`~repro.multiring.merge.MergeCursor` into a live MRP-Store state
+    machine, validating read-your-writes and store convergence against that
+    merged state (see :func:`_reactive_merge_check`) and recording the
+    learner's cross-component delivery digest under its plain name — exactly
+    the round-robin order its single-process merger produces from those
+    streams.  This holds for *every* shared-learner draw: a learner crashed,
+    restarted or reconfigured mid-run re-emits stream prefixes, and the
+    cursor's incarnation-aware dedup absorbs them (a re-emission deciding a
+    different value is a hard ``merge-stream-divergence`` violation).
     """
     schedule = FaultSchedule.from_dicts(spec["schedule"])
     active_end = max(spec["horizon"], schedule.end_time) + SETTLE
@@ -853,28 +958,20 @@ def _run_amcast_sharded(
             stats["deliveries"][key] = count
 
     # Merge stage: reconstruct each shared learner's cross-component delivery
-    # order through the *reactive* subsystem — the recorded streams are
-    # chunked into barrier segments, streamed through a merge cursor into a
-    # live MRP-Store state machine, and read-your-writes / store-convergence
-    # / stream-agreement are validated against that merged state (see
-    # :func:`_reactive_merge_check`).  A learner that crashed or was
-    # reconfigured mid-run re-emits parts of its streams (per incarnation),
-    # so its merge is not well-defined — the per-shard partial digests
-    # remain authoritative then.
-    touched = {
-        event.get("params", {}).get("process")
-        for event in spec["schedule"]
-        if event.get("action") in ("crash", "restart", "remove_from_ring", "add_to_ring")
-    }
+    # order through the *reactive* subsystem — the recorded incarnation-
+    # segmented streams are chunked into barrier segments, streamed through a
+    # merge cursor into a live MRP-Store state machine, and read-your-writes
+    # / store-convergence / stream-agreement are validated against that
+    # merged state (see :func:`_reactive_merge_check`).  Fault-touched
+    # learners get no special treatment: their re-emitted stream prefixes
+    # are exactly what the incarnation-aware dedup exists for.
     messages_per_round = spec.get("messages_per_round", 1)
     reactive_stats: Dict[str, Any] = {}
     for name in merge_learners:
-        if name in touched or name in crashed:
-            continue
-        streams = streams_by_name.get(name)
-        if streams:
+        history = streams_by_name.get(name)
+        if history:
             merged, merge_violations, merge_stats = _reactive_merge_check(
-                name, streams, messages_per_round
+                name, history, messages_per_round
             )
             digests[name] = merged
             violations.extend(merge_violations)
@@ -893,6 +990,8 @@ def _run_amcast_sharded(
         stats["sharded"]["merge_learners"] = merge_learners
         if reactive_stats:
             stats["sharded"]["reactive_merge"] = reactive_stats
+    if crashed:
+        stats["sharded"]["crashed"] = sorted(crashed)
     return violations, stats, tails, digests
 
 
@@ -1174,14 +1273,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     failures = 0
+    failed_seeds: List[int] = []
     for seed in range(args.seed, args.seed + args.count):
         result = run_scenario(seed, artifacts_dir=args.artifacts, workers=args.workers)
         status = "PASS" if result.ok else "FAIL"
         print(f"{status} seed={seed} family={result.family} stats={result.stats}")
         if not result.ok:
             failures += 1
+            failed_seeds.append(seed)
             for violation in result.violations:
                 print(f"  {violation}")
             if result.artifact_path:
                 print(f"  artifact: {result.artifact_path}")
+    total = args.count
+    if failures:
+        print(
+            f"chaos: {failures}/{total} scenario(s) VIOLATED the oracle "
+            f"(seeds {failed_seeds}) — exit 1"
+        )
+    else:
+        print(f"chaos: {total}/{total} scenario(s) passed")
     return 1 if failures else 0

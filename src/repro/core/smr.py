@@ -335,6 +335,17 @@ class ReactiveReplicaHost:
     readable — into ``reactive.<replica>.latency`` on the replica's metric
     registry.
 
+    Fault tolerance: a partitioned or crashed producer stops covering its
+    rings (barriers arrive with ``covered`` excluding them), the joint
+    watermark stalls at the last honest mark, and the host simply keeps
+    ingesting — queued deliveries wait at the round-robin gate until the
+    ring heals and its backlog arrives.  Each such stall is recorded as a
+    closed ``(start, end)`` window (:attr:`stall_windows`, durations in
+    ``reactive.<replica>.stall``), and the per-command latency accounting
+    subtracts the overlap of a command's in-flight interval with the stall
+    windows: the stall is an availability incident, not merge latency, and
+    folding it in would drown the freshness signal the metric exists for.
+
     Parameters
     ----------
     replica:
@@ -364,6 +375,9 @@ class ReactiveReplicaHost:
     ) -> None:
         self.replica = replica
         self._latency = replica.env.metrics.latency(f"reactive.{replica.name}.latency")
+        self._stall = replica.env.metrics.latency(f"reactive.{replica.name}.stall")
+        self._stall_windows: List[Tuple[float, float]] = []
+        self._stall_open: Optional[float] = None
         self._cursor = MergeCursor(
             group_ids,
             messages_per_round=messages_per_round,
@@ -374,19 +388,39 @@ class ReactiveReplicaHost:
     # ----------------------------------------------------------------- input
     def ingest(
         self,
-        segments: Dict[int, List[Tuple[int, ProposalValue]]],
+        segments: Dict[int, Any],
         watermark: Optional[float] = None,
+        covered: Optional[List[int]] = None,
     ) -> int:
         """Feed one barrier's decision-stream segments; apply what merges.
 
-        ``segments`` maps ring ids to the ``(instance, value)`` entries
-        recorded since the last barrier (rings with nothing new may be
-        absent); ``watermark`` is the barrier time, advancing every
-        subscribed ring at once.  Every delivery the round-robin can finalise
-        is applied to the replica before this returns.  Returns the number of
+        ``segments`` maps ring ids to the entries recorded since the last
+        barrier — tagged :class:`~repro.multiring.merge.RingSegment` values
+        or bare ``(instance, value)`` lists; rings with nothing new may be
+        absent.  ``watermark`` is the barrier time; it advances every ring in
+        ``covered`` (default: all) — producers exclude rings whose streams
+        are not known complete up to the barrier, e.g. because their learner
+        is crashed, and the joint watermark then stalls honestly until the
+        ring heals.  Every delivery the round-robin can finalise is applied
+        to the replica before this returns.  Returns the number of
         deliveries applied.
         """
-        return len(self._cursor.feed_segments(segments, watermark=watermark))
+        # Advance the covered marks (and settle the stall bookkeeping)
+        # *before* feeding entries, so deliveries applied at the healing
+        # barrier already see the closed stall window.
+        if watermark is not None:
+            self._cursor.feed_segments({}, watermark=watermark, groups=covered)
+            joint = self._cursor.watermark
+            if joint is not None:
+                if joint < watermark:
+                    if self._stall_open is None:
+                        self._stall_open = joint
+                elif self._stall_open is not None:
+                    window = (self._stall_open, joint)
+                    self._stall_windows.append(window)
+                    self._stall.record(window[1] - window[0])
+                    self._stall_open = None
+        return len(self._cursor.feed_segments(segments))
 
     def _apply(self, group_id: int, instance: int, value: ProposalValue) -> None:
         self.replica.on_deliver(group_id, instance, value)
@@ -397,7 +431,15 @@ class ReactiveReplicaHost:
         commands = payload if isinstance(payload, CommandBatch) else (payload,)
         for command in commands:
             if isinstance(command, Command):
-                self._latency.record(max(0.0, watermark - command.created_at))
+                latency = watermark - command.created_at
+                # A stall is an availability incident, not merge latency:
+                # subtract the in-flight interval's overlap with every
+                # closed stall window.
+                for start, end in self._stall_windows:
+                    overlap = min(watermark, end) - max(command.created_at, start)
+                    if overlap > 0.0:
+                        latency -= overlap
+                self._latency.record(max(0.0, latency))
 
     # ------------------------------------------------------------ inspection
     @property
@@ -428,12 +470,28 @@ class ReactiveReplicaHost:
         """Commands the hosted replica executed."""
         return self.replica.commands_applied
 
+    @property
+    def stall_windows(self) -> List[Tuple[float, float]]:
+        """Closed ``(start, end)`` watermark-stall windows, in order."""
+        return list(self._stall_windows)
+
+    @property
+    def stalled(self) -> bool:
+        """Whether the joint watermark is currently stalled behind a barrier."""
+        return self._stall_open is not None
+
     def latency_stats(self) -> Dict[str, float]:
-        """Client-visible merge latency summary, in milliseconds."""
+        """Client-visible merge latency summary, in milliseconds.
+
+        Stall windows are excluded from the per-command latencies (see the
+        class docstring) and summarised separately by the two stall keys.
+        """
         recorder = self._latency
         return {
             "count": float(recorder.count),
             "mean_ms": recorder.mean() * 1e3,
             "p95_ms": recorder.percentile(95) * 1e3,
             "p99_ms": recorder.percentile(99) * 1e3,
+            "stall_count": float(len(self._stall_windows)),
+            "stalled_ms": sum(e - s for s, e in self._stall_windows) * 1e3,
         }

@@ -36,7 +36,20 @@ interleaving-independence the streaming and offline orders are identical.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from ..paxos.messages import SKIP, ProposalValue
 from ..ringpaxos.coordinator import PackedValues
@@ -44,7 +57,11 @@ from ..ringpaxos.coordinator import PackedValues
 __all__ = [
     "DeterministicMerger",
     "MergeCursor",
+    "MergeDivergenceError",
+    "RingSegment",
     "RingSegmentBuffer",
+    "StaleWatermarkError",
+    "effective_streams",
     "replay_streams",
 ]
 
@@ -54,6 +71,97 @@ DeliverCallback = Callable[[int, int, ProposalValue], None]
 #: a :class:`~repro.ringpaxos.learner.RingLearner` emitted them (skips
 #: included — the round-robin needs them to advance).
 RingStream = Sequence[Tuple[int, ProposalValue]]
+
+
+class StaleWatermarkError(ValueError):
+    """A barrier watermark regressed or duplicated an earlier one.
+
+    Raised by :meth:`MergeCursor.feed_segments` instead of silently keeping
+    the old marks — a stale barrier that never advanced anything used to
+    wedge the joint watermark with no visible symptom.
+    """
+
+
+class MergeDivergenceError(ValueError):
+    """Two feeds decided different values for the same ``(ring, instance)``.
+
+    A restarted learner legitimately re-emits a prefix of its ring's decided
+    stream; the cursor discards those duplicates after verifying the payload
+    matches what was merged the first time.  A mismatch means the streams
+    genuinely diverged — consensus safety is broken somewhere upstream — and
+    must surface as a hard error, not be papered over by the dedup.
+    """
+
+
+@dataclass
+class RingSegment:
+    """One ring's decision-stream slice, tagged for crash-safe streaming.
+
+    Attributes
+    ----------
+    incarnation:
+        The producing process's incarnation (crash/restart count) when the
+        entries were recorded.  A restarted learner re-emits its ring's
+        stream from instance 0 under a higher incarnation; consumers use the
+        bump to reset their resume-position check and dedup the re-emitted
+        prefix.
+    start:
+        Resume position: how many entries of this incarnation's stream were
+        shipped before this segment.  Consumers verify contiguity so a
+        segment lost in transport is an error, not a silent gap.
+    entries:
+        The ordered ``(instance, value)`` pairs recorded since the previous
+        cut (skips included).  May be empty — an empty segment still tells
+        the consumer the ring was covered up to the barrier.
+    """
+
+    incarnation: int = 0
+    start: int = 0
+    entries: List[Tuple[int, ProposalValue]] = field(default_factory=list)
+
+
+#: What ``feed_segments`` accepts per ring: a tagged segment or a bare
+#: entry list (the pre-incarnation form, still used by offline replays).
+SegmentLike = Union["RingSegment", Iterable[Tuple[int, ProposalValue]]]
+
+
+def effective_streams(
+    history: Mapping[int, Sequence[RingSegment]],
+) -> Dict[int, List[Tuple[int, ProposalValue]]]:
+    """Collapse incarnation-segmented recordings into deduped whole streams.
+
+    ``history`` maps each ring to its recorded incarnation runs in
+    chronological order (see
+    :meth:`repro.multiring.process.MultiRingProcess.record_ring_history`).
+    Restarted learners re-emit stream prefixes; this helper drops the
+    duplicates — verifying each one decided the same value as the original
+    emission, raising :class:`MergeDivergenceError` otherwise — and returns
+    the plain per-ring streams :func:`replay_streams` consumes.  It is the
+    offline anchor builder for runs with crashes: feeding any chunking of
+    ``history`` through a :class:`MergeCursor` must match
+    ``replay_streams(effective_streams(history))`` exactly.
+    """
+    streams: Dict[int, List[Tuple[int, ProposalValue]]] = {}
+    for ring_id in sorted(history):
+        out: List[Tuple[int, ProposalValue]] = []
+        seen: Dict[int, ProposalValue] = {}
+        high = -1
+        for segment in history[ring_id]:
+            for instance, value in segment.entries:
+                if instance <= high:
+                    original = seen.get(instance)
+                    if original is not None and original.payload != value.payload:
+                        raise MergeDivergenceError(
+                            f"ring {ring_id} instance {instance} re-emitted a "
+                            f"different value ({original.payload!r} vs "
+                            f"{value.payload!r})"
+                        )
+                    continue
+                out.append((instance, value))
+                seen[instance] = value
+                high = instance
+        streams[ring_id] = out
+    return streams
 
 
 def replay_streams(
@@ -94,27 +202,107 @@ class RingSegmentBuffer:
     (:meth:`repro.multiring.process.MultiRingProcess.record_ring_segments`),
     it collects every ``(instance, value)`` a ring learner emits — skips
     included — and :meth:`cut` hands over everything recorded since the last
-    cut as one segment per ring, ready to ship through a barrier.  Several
-    processes may share one buffer (their rings are disjoint).
+    cut as one tagged :class:`RingSegment` per ring, ready to ship through a
+    barrier.  Several processes may share one buffer (their rings are
+    disjoint).
+
+    Crash safety: the buffer tracks each ring's incarnation and resume
+    position.  :meth:`mark_down` (the producer crashed) drops the entries
+    recorded since the last cut — the restarted learner re-emits them, and
+    shipping a pre-crash tail next to the incarnation-0 re-emission would
+    hand the consumer a non-contiguous mess — and keeps the ring out of cuts
+    until :meth:`mark_restart` announces the next incarnation.  Rings marked
+    down are *uncovered*: their absence from a cut tells the merge stage not
+    to advance their watermark past the barrier.
     """
 
-    __slots__ = ("_entries", "total_entries")
+    __slots__ = ("_entries", "_incarnations", "_positions", "_down", "_known", "total_entries")
 
     def __init__(self) -> None:
         self._entries: Dict[int, List[Tuple[int, ProposalValue]]] = {}
+        self._incarnations: Dict[int, int] = {}
+        #: Entries already cut in the ring's current incarnation.
+        self._positions: Dict[int, int] = {}
+        #: Rings whose producer is crashed — excluded from cuts.
+        self._down: Set[int] = set()
+        #: Every ring ever subscribed or recorded; covered cuts include them
+        #: even when idle, so the consumer can advance their watermarks.
+        self._known: Set[int] = set()
         #: Entries recorded over the buffer's lifetime (cuts included).
         self.total_entries = 0
 
+    def subscribe(self, ring_ids: Iterable[int]) -> None:
+        """Declare rings up-front so idle ones still appear in covered cuts."""
+        self._known.update(ring_ids)
+
     def append(self, ring_id: int, instance: int, value: ProposalValue) -> None:
         """Record one ordered instance (the tap callback)."""
+        self._known.add(ring_id)
         self._entries.setdefault(ring_id, []).append((instance, value))
         self.total_entries += 1
 
-    def cut(self) -> Dict[int, List[Tuple[int, ProposalValue]]]:
-        """Detach and return the segments recorded since the last cut."""
-        segments = self._entries
+    def mark_down(self, ring_ids: Iterable[int]) -> None:
+        """The producer of these rings crashed: drop its uncut tail.
+
+        The dropped entries are not lost — the restarted learner re-emits
+        the whole prefix under its next incarnation — and until
+        :meth:`mark_restart` the rings are omitted from cuts, which is how
+        the consumer learns their streams are no longer complete up to the
+        barrier.
+        """
+        for ring_id in ring_ids:
+            self._known.add(ring_id)
+            self._down.add(ring_id)
+            dropped = self._entries.pop(ring_id, None)
+            if dropped:
+                self.total_entries -= len(dropped)
+
+    def mark_restart(self, ring_ids: Iterable[int]) -> None:
+        """The producer restarted: open the rings' next incarnation.
+
+        Resume positions reset to 0 — the recreated learner re-emits its
+        ring's stream from the first instance — and the rings re-enter cuts
+        immediately (the re-emitted prefix is a valid, contiguous stream of
+        the new incarnation even while gap repair is still filling it).
+        """
+        for ring_id in ring_ids:
+            self._known.add(ring_id)
+            self._down.discard(ring_id)
+            self._incarnations[ring_id] = self._incarnations.get(ring_id, 0) + 1
+            self._positions[ring_id] = 0
+            # Anything recorded between crash and restart would be stale;
+            # mark_down already dropped it, but be safe against direct use.
+            self._entries.pop(ring_id, None)
+
+    def cut(self) -> Dict[int, RingSegment]:
+        """Detach the segments recorded since the last cut, tagged.
+
+        Every known ring whose producer is up yields a segment — an empty
+        one when the ring was idle, which still advances the consumer-side
+        watermark.  Rings marked down are omitted (uncovered).
+        """
+        segments: Dict[int, RingSegment] = {}
+        entries = self._entries
         self._entries = {}
+        for ring_id in self._known:
+            if ring_id in self._down:
+                entries.pop(ring_id, None)
+                continue
+            recorded = entries.pop(ring_id, None) or []
+            start = self._positions.get(ring_id, 0)
+            segments[ring_id] = RingSegment(
+                incarnation=self._incarnations.get(ring_id, 0),
+                start=start,
+                entries=recorded,
+            )
+            self._positions[ring_id] = start + len(recorded)
+        # Entries for rings never subscribed nor marked cannot exist (append
+        # adds to _known), but drop any leftovers defensively.
         return segments
+
+    def incarnation(self, ring_id: int) -> int:
+        """The ring's current incarnation (0 until its first restart)."""
+        return self._incarnations.get(ring_id, 0)
 
     def __bool__(self) -> bool:
         return bool(self._entries)
@@ -160,9 +348,18 @@ class MergeCursor:
         self._retain = retain_history
         self._merged: List[Tuple[int, int, ProposalValue]] = []
         self._drained = 0
-        self._watermarks: Dict[int, Optional[float]] = {
-            g: None for g in sorted(set(group_ids))
-        }
+        groups = sorted(set(group_ids))
+        self._watermarks: Dict[int, Optional[float]] = {g: None for g in groups}
+        #: Last barrier watermark accepted by :meth:`feed_segments`.
+        self._last_barrier: Optional[float] = None
+        #: Per-ring incarnation/resume-position tracking (crash-safe feeds).
+        self._incarnations: Dict[int, int] = {g: 0 for g in groups}
+        self._positions: Dict[int, int] = {g: 0 for g in groups}
+        #: Highest instance merged per ring, and what each instance decided —
+        #: the dedup floor and the divergence oracle for re-emitted prefixes.
+        self._high: Dict[int, int] = {g: -1 for g in groups}
+        self._seen: Dict[int, Dict[int, ProposalValue]] = {g: {} for g in groups}
+        self._duplicates = 0
         self._merger = DeterministicMerger(
             group_ids, messages_per_round=messages_per_round, on_deliver=self._collect
         )
@@ -178,6 +375,8 @@ class MergeCursor:
         group_id: int,
         entries: Iterable[Tuple[int, ProposalValue]] = (),
         watermark: Optional[float] = None,
+        incarnation: Optional[int] = None,
+        start: Optional[int] = None,
     ) -> None:
         """Feed one ring's next segment (possibly empty) into the merge.
 
@@ -185,6 +384,14 @@ class MergeCursor:
         previous segment ended.  ``watermark`` advances the ring's completion
         time — an empty segment with a watermark is how an idle ring reports
         progress; feeding a watermark that moves backwards is an error.
+
+        ``incarnation``/``start`` are the crash-safety tags carried by
+        :class:`RingSegment`: a higher incarnation announces the producer
+        restarted (its re-emitted stream prefix is deduped against what was
+        already merged — a payload mismatch raises
+        :class:`MergeDivergenceError`), and ``start`` is verified against the
+        entries consumed so far in that incarnation so a segment lost in
+        transport surfaces as an error instead of a silent gap.
         """
         if group_id not in self._watermarks:
             raise KeyError(f"not subscribed to group {group_id}")
@@ -196,29 +403,100 @@ class MergeCursor:
                     f"({previous} -> {watermark})"
                 )
             self._watermarks[group_id] = watermark
+        if incarnation is not None:
+            current = self._incarnations[group_id]
+            if incarnation < current:
+                raise ValueError(
+                    f"segment of group {group_id} carries stale incarnation "
+                    f"{incarnation} (current {current})"
+                )
+            if incarnation > current:
+                self._incarnations[group_id] = incarnation
+                self._positions[group_id] = 0
+            if start is not None and start != self._positions[group_id]:
+                raise ValueError(
+                    f"segment of group {group_id} incarnation {incarnation} "
+                    f"resumes at position {start}, expected "
+                    f"{self._positions[group_id]} — a segment was lost or "
+                    f"reordered in transport"
+                )
+        count = 0
+        high = self._high[group_id]
+        seen = self._seen[group_id]
         offer = self._merger.offer
         for instance, value in entries:
+            count += 1
+            if instance <= high:
+                # Re-emitted prefix of a restarted producer: drop it, but
+                # only after checking it decided the very same value.
+                original = seen.get(instance)
+                if original is not None and original.payload != value.payload:
+                    raise MergeDivergenceError(
+                        f"ring {group_id} instance {instance} re-emitted a "
+                        f"different value ({original.payload!r} vs "
+                        f"{value.payload!r})"
+                    )
+                self._duplicates += 1
+                continue
+            seen[instance] = value
+            high = instance
             offer(group_id, instance, value)
+        self._high[group_id] = high
+        if incarnation is not None:
+            self._positions[group_id] += count
 
     def feed_segments(
         self,
-        segments: Mapping[int, Iterable[Tuple[int, ProposalValue]]],
+        segments: Mapping[int, "SegmentLike"],
         watermark: Optional[float] = None,
+        groups: Optional[Iterable[int]] = None,
     ) -> List[Tuple[int, int, ProposalValue]]:
         """Feed one barrier's segments for every subscribed ring; drain.
 
-        ``watermark`` (the barrier time) advances every subscribed ring not
+        ``watermark`` (the barrier time) advances every covered ring not
         already past it (a ring ahead of the barrier keeps its own mark) —
         watermarks are applied before any entry so deliveries emitted by this
-        call observe the joint watermark they became final at.  Returns the
-        deliveries newly emitted by this barrier (see :meth:`drain`).
+        call observe the joint watermark they became final at.  ``groups``
+        limits which rings the barrier covers: rings outside it keep their
+        marks (their streams are not known complete up to the barrier — e.g.
+        their producer is crashed or partitioned away), which is what lets
+        the joint watermark stall honestly instead of over-promising
+        freshness.  By default every subscribed ring is covered.
+
+        Barrier watermarks must strictly advance: a regressed or duplicated
+        one raises :class:`StaleWatermarkError` naming the marks — silently
+        ignoring it used to wedge the joint watermark forever.
+
+        Segment values may be tagged :class:`RingSegment` instances (their
+        incarnation/resume tags are enforced, see :meth:`feed`) or bare entry
+        iterables.  Returns the deliveries newly emitted by this barrier
+        (see :meth:`drain`).
         """
         if watermark is not None:
-            for group, current in self._watermarks.items():
+            if self._last_barrier is not None and watermark <= self._last_barrier:
+                marks = {g: m for g, m in self._watermarks.items()}
+                raise StaleWatermarkError(
+                    f"barrier watermark {watermark} does not advance past the "
+                    f"previous barrier {self._last_barrier} (ring marks: "
+                    f"{marks}) — stale or duplicated segment shipment"
+                )
+            self._last_barrier = watermark
+            covered = self._watermarks if groups is None else groups
+            for group in covered:
+                current = self._watermarks[group]
                 if current is None or watermark > current:
                     self.feed(group, (), watermark)
         for group in sorted(segments):
-            self.feed(group, segments[group])
+            segment = segments[group]
+            if isinstance(segment, RingSegment):
+                self.feed(
+                    group,
+                    segment.entries,
+                    incarnation=segment.incarnation,
+                    start=segment.start,
+                )
+            else:
+                self.feed(group, segment)
         return self.drain()
 
     # --------------------------------------------------------------- outputs
@@ -255,6 +533,24 @@ class MergeCursor:
             if minimum is None or mark < minimum:
                 minimum = mark
         return minimum
+
+    def ring_watermark(self, group_id: int) -> Optional[float]:
+        """One ring's completion time (``None`` until it first reports)."""
+        return self._watermarks[group_id]
+
+    @property
+    def last_barrier(self) -> Optional[float]:
+        """The last barrier watermark accepted by :meth:`feed_segments`."""
+        return self._last_barrier
+
+    def incarnation(self, group_id: int) -> int:
+        """The ring's current producer incarnation (0 until a restart)."""
+        return self._incarnations[group_id]
+
+    @property
+    def duplicates_dropped(self) -> int:
+        """Re-emitted entries deduped so far (restart re-emissions)."""
+        return self._duplicates
 
     @property
     def groups(self) -> List[int]:

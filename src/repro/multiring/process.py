@@ -19,7 +19,7 @@ from ..paxos.messages import ProposalValue, TrimQuery, TrimReport
 from ..ringpaxos.node import RingNode, RingNodeConfig
 from ..sim.actor import Actor, Environment
 from ..sim.disk import Disk
-from .merge import DeterministicMerger, RingSegmentBuffer
+from .merge import DeterministicMerger, RingSegment, RingSegmentBuffer
 
 __all__ = ["MultiRingProcess"]
 
@@ -50,6 +50,10 @@ class MultiRingProcess(Actor):
         self._merger: Optional[DeterministicMerger] = None
         self._delivered_per_group: Dict[int, int] = {}
         self._ring_tap: Optional[Callable[[int, int, ProposalValue], None]] = None
+        #: Crash/restart count — segments recorded by this process carry it
+        #: so downstream merge cursors can dedup re-emitted stream prefixes.
+        self.incarnation = 0
+        self._segment_buffers: List[RingSegmentBuffer] = []
 
     # ----------------------------------------------------------------- rings
     def join_ring(
@@ -145,6 +149,8 @@ class MultiRingProcess(Actor):
         buffer (their rings must be disjoint).
         """
         buffer = RingSegmentBuffer() if into is None else into
+        buffer.subscribe(self.subscribed_groups())
+        self._segment_buffers.append(buffer)
         self.tap_ring_streams(buffer.append)
         return buffer
 
@@ -167,6 +173,34 @@ class MultiRingProcess(Actor):
 
         self.tap_ring_streams(sink)
         return streams
+
+    def record_ring_history(
+        self, into: Optional[Dict[int, List[RingSegment]]] = None
+    ) -> Dict[int, List[RingSegment]]:
+        """Install a tap recording whole-run streams segmented by incarnation.
+
+        Returns ``ring_id → [RingSegment, ...]``: one run per incarnation the
+        ring produced under, in chronological order.  A restarted learner
+        re-emits its ring's stream from instance 0 — with the plain
+        :meth:`record_ring_streams` recording that prefix would duplicate
+        into the stream and corrupt any offline replay; here each
+        incarnation's emission is kept separate so
+        :func:`repro.multiring.merge.effective_streams` can dedup it (and a
+        :class:`~repro.multiring.merge.MergeCursor` can be fed the runs
+        chunk by chunk, exactly as the streaming pipeline would).  ``into``
+        lets several processes share one sink (their rings must be
+        disjoint).
+        """
+        history = {} if into is None else into
+
+        def sink(ring_id: int, instance: int, value: ProposalValue) -> None:
+            runs = history.setdefault(ring_id, [])
+            if not runs or runs[-1].incarnation != self.incarnation:
+                runs.append(RingSegment(incarnation=self.incarnation))
+            runs[-1].entries.append((instance, value))
+
+        self.tap_ring_streams(sink)
+        return history
 
     def _on_ring_ordered(self, ring_id: int, instance: int, value: ProposalValue) -> None:
         """Ordered per-ring output from a ring learner, fed to the merger."""
@@ -223,11 +257,18 @@ class MultiRingProcess(Actor):
 
     # --------------------------------------------------------- crash/restart
     def on_crash(self) -> None:
+        subscribed = self.subscribed_groups()
+        for buffer in self._segment_buffers:
+            buffer.mark_down(subscribed)
         for node in self._nodes.values():
             node.crash()
 
     def on_restart(self) -> None:
         """Reset volatile ordering state; durable state is recovered elsewhere."""
+        self.incarnation += 1
+        subscribed = self.subscribed_groups()
+        for buffer in self._segment_buffers:
+            buffer.mark_restart(subscribed)
         self._delivered_per_group.clear()
         learner_rings = [r for r, n in self._nodes.items() if n.is_learner]
         if learner_rings:

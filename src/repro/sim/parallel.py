@@ -61,7 +61,12 @@ barrier — via :meth:`ShardHarness.drain_segments`, alongside the
 ``segment_sink`` feeds them into a
 :class:`~repro.multiring.merge.MergeCursor` (typically through a
 :class:`~repro.core.smr.ReactiveReplicaHost`, so live service replicas apply
-merged deliveries and answer clients *during* the run).  Shard sets that
+merged deliveries and answer clients *during* the run).  The shipped
+segments are incarnation- and resume-position-tagged
+(:class:`~repro.multiring.merge.RingSegment`), which makes the stream
+fault-tolerant: a crashed in-shard learner's rings drop out of the cut (the
+consumer's joint watermark stalls honestly), and the restarted
+incarnation's re-emitted prefix is deduped by the cursor.  Shard sets that
 exchange no messages can still request barriers purely as a streaming
 cadence with ``segment_interval=`` — any interval is safe because no
 cross-shard message exists to be late, and the event schedule is untouched
@@ -178,8 +183,13 @@ class ShardHarness:
         segments)`` — the shard's simulated time (everything at or before it
         has executed, so the shard's streams are complete up to it) plus the
         per-ring decision-stream segments recorded since the last barrier
-        (``ring_id → [(instance, value), ...]``, possibly empty).  The
-        payload must be picklable; ``None`` (the default) ships nothing.
+        (``ring_id → RingSegment``, each tagged with the producer's
+        incarnation and its resume position, possibly empty).  Rings whose
+        learner is crashed are *omitted* — absence means "not covered up to
+        this watermark", so the consumer's joint watermark stalls honestly;
+        after a restart the bumped incarnation tells the consumer to expect
+        a re-emitted prefix and dedup it.  The payload must be picklable;
+        ``None`` (the default) ships nothing.
         """
         return None
 

@@ -205,6 +205,48 @@ def test_fig6_original_configuration_sharded_differential():
     )
 
 
+def test_fig6_faulted_crash_schedule_differential():
+    """A fixed crash schedule leaves the faulted run bit-identical.
+
+    The shared learner's in-shard mirrors crash at a scheduled simulated
+    instant and restart later; the restarted incarnations re-emit their
+    stream prefixes, the barrier cuts omit the down rings (the reactive
+    hosts' joint watermark stalls), and the incarnation-aware merge dedups
+    the re-emission.  The reactively merged state must still be
+    bit-identical between ``workers=1`` and ``workers=2``, and equal to the
+    offline ``effective_streams``/``replay_streams`` anchor.
+    """
+    kwargs = dict(
+        warmup=0.3,
+        duration=1.2,
+        record_deliveries=True,
+        configuration="shared",
+        crash_schedule=[(0.7, "dlog-replica0", 0.4)],
+    )
+    single = run_fig6_sharded(2, workers=1, **kwargs)
+    sharded = run_fig6_sharded(2, workers=2, **kwargs)
+    assert single.series["merged_deliveries"] == sharded.series["merged_deliveries"]
+    assert single.series["ring_streams"] == sharded.series["ring_streams"]
+    assert single.metrics["events_total"] == sharded.metrics["events_total"]
+    for result in (single, sharded):
+        assert result.params["faulted"] is True
+        assert (
+            result.series["merged_deliveries"]
+            == result.series["merged_deliveries_offline"]
+        ), "faulted reactive merge diverged from the offline anchor"
+        # The crash opened a stall window at the reactive stage, and it is
+        # reported identically whatever the worker count.
+        assert result.metrics["reactive_stall_count"] >= 1.0
+        assert result.metrics["reactive_stalled_ms"] > 0.0
+    assert (
+        single.metrics["reactive_stalled_ms"]
+        == sharded.metrics["reactive_stalled_ms"]
+    )
+    merged = single.series["merged_deliveries"]["dlog-replica0"]
+    assert merged, "faulted merge stage delivered nothing"
+    assert {group for group, _, _ in merged} == {0, 1}
+
+
 def test_fig7_original_configuration_sharded_differential():
     """Figure 7's *original* deployment (partition rings + global ring) shards.
 

@@ -1,0 +1,71 @@
+"""Smoke tests of the ``python -m repro.chaos`` entry point.
+
+The CLI is the operator's chaos interface: it must exit non-zero when any
+scenario violates the invariant oracle and print a one-line end-of-run
+summary naming the failed seeds, so CI logs and humans can triage without
+parsing per-seed output.
+"""
+
+from __future__ import annotations
+
+from repro.chaos import scenario as scenario_module
+from repro.chaos.oracle import Violation
+from repro.chaos.scenario import ScenarioResult, main
+
+
+def _fake_run(results_by_seed):
+    def run_scenario(seed, artifacts_dir=None, workers=1):
+        return results_by_seed[seed]
+
+    return run_scenario
+
+
+def _ok(seed):
+    return ScenarioResult(seed=seed, family="amcast", violations=[], stats={"sent": 10})
+
+
+def _bad(seed):
+    return ScenarioResult(
+        seed=seed,
+        family="amcast",
+        violations=[Violation("agreement", f"seed {seed} lost a delivery")],
+        stats={"sent": 10},
+        artifact_path=f"/tmp/chaos-{seed}.json",
+    )
+
+
+def test_all_pass_exits_zero_with_summary(monkeypatch, capsys):
+    monkeypatch.setattr(
+        scenario_module, "run_scenario", _fake_run({0: _ok(0), 1: _ok(1)})
+    )
+    exit_code = main(["--seed", "0", "--count", "2"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "chaos: 2/2 scenario(s) passed" in out
+
+
+def test_oracle_failure_exits_nonzero_with_one_line_summary(monkeypatch, capsys):
+    monkeypatch.setattr(
+        scenario_module,
+        "run_scenario",
+        _fake_run({5: _ok(5), 6: _bad(6), 7: _ok(7)}),
+    )
+    exit_code = main(["--seed", "5", "--count", "3"])
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert "FAIL seed=6" in out
+    assert "agreement" in out
+    assert "artifact: /tmp/chaos-6.json" in out
+    summary = [line for line in out.splitlines() if line.startswith("chaos:")]
+    assert len(summary) == 1
+    assert "1/3 scenario(s) VIOLATED the oracle" in summary[0]
+    assert "[6]" in summary[0]
+
+
+def test_real_seed_smoke_passes_end_to_end(capsys):
+    # One real (fast, single-process) scenario through the actual CLI path.
+    exit_code = main(["--seed", "0", "--count", "1"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "PASS seed=0" in out
+    assert "chaos: 1/1 scenario(s) passed" in out

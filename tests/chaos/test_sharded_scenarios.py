@@ -117,49 +117,71 @@ def test_run_scenario_opts_in_and_reports_shards():
 def test_shared_learner_merge_stage_identical_across_workers():
     """Shared-learner draws shard: merged digests match across worker counts.
 
-    The shared learner is mirrored into every shard; the merge stage replays
-    the recorded per-ring streams into its cross-component delivery digest,
-    which must be byte-identical between the in-process engine and two
-    workers (and non-empty when the learner was untouched by faults).
+    The shared learner is mirrored into every shard; the merge stage streams
+    the recorded incarnation-segmented per-ring streams into its
+    cross-component delivery digest, which must be byte-identical between
+    the in-process engine and two workers.  Since the merge became
+    incarnation-aware there is no fault-touched fallback: *every* shared
+    learner that recorded streams gets a merged digest, crashed/restarted or
+    not.
     """
-    def untouched_learners(spec, components):
+    seeds = _eligible_seeds(2, require_merge_learners=True)
+    assert seeds, "expected shared-learner seeds in the range"
+    for seed in seeds:
+        spec = generate_spec(seed)
+        components = shardable_components(spec)
+        learners = shared_merge_learners(spec, components)
+        v1, s1, t1, d1 = _run_amcast_sharded(spec, components, workers=1)
+        v2, s2, t2, d2 = _run_amcast_sharded(spec, components, workers=2)
+        assert [(v.prop, v.detail) for v in v1] == [(v.prop, v.detail) for v in v2]
+        assert d1 == d2
+        assert t1 == t2
+        assert s1["sharded"]["merge_learners"] == learners
+        for name in learners:
+            assert d1.get(name), f"merge stage produced no digest for {name}"
+            # The merged digest spans every component the learner subscribes
+            # to (skips excluded from the digest, so only components whose
+            # rings carried application messages appear).
+            groups = {group for group, _, _ in d1[name]}
+            assert groups, "merged digest delivered nothing"
+
+
+def test_fault_touched_shared_learner_still_gets_merged_digest():
+    """A shared learner crashed/restarted mid-run must still merge.
+
+    The generator's shared-learner fault family crashes the learner itself;
+    its restarted incarnation re-emits stream prefixes, and the merge stage
+    dedups them instead of bailing out to per-shard partial digests.  Scan
+    the seed range for such a draw and require the merged digest plus a
+    clean verdict at both worker counts.
+    """
+    found = None
+    for seed in SEED_RANGE:
+        spec = generate_spec(seed)
+        components = shardable_components(spec)
+        if not components:
+            continue
+        learners = shared_merge_learners(spec, components)
+        if not learners:
+            continue
         touched = {
             event.get("params", {}).get("process")
             for event in spec["schedule"]
-            if event.get("action")
-            in ("crash", "restart", "remove_from_ring", "add_to_ring")
+            if event.get("action") in ("crash", "restart")
         }
-        return [
-            name
-            for name in shared_merge_learners(spec, components)
-            if name not in touched
-        ]
-
-    # Prefer a seed whose shared learner no fault touches, so the merged
-    # digest is actually produced and asserted on (fault-touched learners
-    # legitimately keep only their per-shard partial digests).
-    seed = spec = components = None
-    for candidate in _eligible_seeds(10, require_merge_learners=True):
-        candidate_spec = generate_spec(candidate)
-        candidate_components = shardable_components(candidate_spec)
-        if untouched_learners(candidate_spec, candidate_components):
-            seed, spec, components = candidate, candidate_spec, candidate_components
+        if any(name in touched for name in learners):
+            found = (seed, spec, components, learners)
             break
-    assert spec is not None, "no untouched shared-learner seed in the range"
-    learners = shared_merge_learners(spec, components)
+    assert found is not None, "no crashed-shared-learner seed in the range"
+    seed, spec, components, learners = found
     v1, s1, t1, d1 = _run_amcast_sharded(spec, components, workers=1)
     v2, s2, t2, d2 = _run_amcast_sharded(spec, components, workers=2)
     assert [(v.prop, v.detail) for v in v1] == [(v.prop, v.detail) for v in v2]
     assert d1 == d2
-    assert t1 == t2
-    assert s1["sharded"]["merge_learners"] == learners
-    for name in untouched_learners(spec, components):
-        assert d1.get(name), f"merge stage produced no digest for {name}"
-        # The merged digest spans every component the learner subscribes to
-        # (skips excluded from the digest, so only components whose rings
-        # carried application messages appear).
-        groups = {group for group, _, _ in d1[name]}
-        assert groups, "merged digest delivered nothing"
+    reactive = s1["sharded"]["reactive_merge"]
+    for name in learners:
+        assert d1.get(name), f"no merged digest for fault-touched {name}"
+        assert name in reactive
 
 
 def test_smoke_matrix_shared_learner_verdicts_match_single_process():
