@@ -17,7 +17,13 @@ so the performance trajectory is tracked across PRs:
   seed commit* (the repository's root commit, extracted with ``git
   archive``), i.e. the end-to-end speedup of everything since the seed.
   Skipped (recorded as ``null``) when git or the root commit's tree is
-  unavailable, e.g. in a shallow checkout.
+  unavailable, e.g. in a shallow checkout;
+* **batched** — the same Figure 3 point with the batching path off vs. on
+  (coordinator value batching + learner batch drain + kernel same-actor
+  dispatch).  Batching packs ~16 values of 2 KB into each 32 KB consensus
+  instance, so far fewer kernel events are spent per ordered command; the
+  headline ``speedup`` is ordered commands per wall-clock second, and the
+  events-per-command ratio is recorded alongside it.
 
 Every macro run happens in a fresh subprocess so both sides pay identical
 interpreter/import/warm-up costs.  Run from the repository root:
@@ -74,6 +80,25 @@ result = run_fig3_point({value_size}, StorageMode.IN_MEMORY, warmup={warmup}, du
 elapsed = time.perf_counter() - t0
 assert result.metrics["ops_per_s"] > 0
 print(elapsed)
+"""
+
+_BATCHED_SCRIPT = """
+import json, time
+from repro.bench.fig3_baseline import run_fig3_point
+from repro.sim.disk import StorageMode
+t0 = time.perf_counter()
+result = run_fig3_point(
+    {value_size}, StorageMode.IN_MEMORY, warmup={warmup}, duration={duration},
+    batching_enabled={batching},
+)
+elapsed = time.perf_counter() - t0
+assert result.metrics["ops_per_s"] > 0
+print(json.dumps({{
+    "elapsed": elapsed,
+    "events": result.metrics["events_processed"],
+    "ops_per_s": result.metrics["ops_per_s"],
+    "latency_mean_ms": result.metrics["latency_mean_ms"],
+}}))
 """
 
 
@@ -158,6 +183,64 @@ def bench_macro_injected() -> Dict[str, float]:
     }
 
 
+def _fig3_batched_run(batching: bool) -> Dict[str, float]:
+    """One scaled-down Figure 3 point with batching off/on; parsed metrics."""
+    script = _BATCHED_SCRIPT.format(
+        value_size=MACRO_VALUE_SIZE,
+        warmup=MACRO_WARMUP,
+        duration=MACRO_DURATION,
+        batching=batching,
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    out = subprocess.run(
+        [sys.executable, "-c", script], capture_output=True, text=True, env=env, check=True
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def bench_macro_batched() -> Dict[str, object]:
+    """Fig 3 wall clock: unbatched fast path vs. the full batching path.
+
+    Both sides run the current stack; the batched side enables coordinator
+    value batching (which also turns on the learner batch drain and the
+    kernel's same-actor dispatch).  Each ordered command then amortises its
+    ring circulation across a whole batch, so the cost that matters —
+    **ordered commands per wall-clock second** — is the headline ``speedup``.
+    Runs are interleaved so slow-machine drift hits both sides.
+    """
+    unbatched, batched = [], []
+    for _ in range(MACRO_REPEATS):
+        unbatched.append(_fig3_batched_run(batching=False))
+        batched.append(_fig3_batched_run(batching=True))
+
+    def side(runs) -> Dict[str, float]:
+        best = max(
+            runs, key=lambda r: r["ops_per_s"] * MACRO_DURATION / r["elapsed"]
+        )
+        commands = best["ops_per_s"] * MACRO_DURATION
+        return {
+            "wall_s": best["elapsed"],
+            "events": best["events"],
+            "sim_ops_per_s": best["ops_per_s"],
+            "latency_mean_ms": best["latency_mean_ms"],
+            "commands": commands,
+            "commands_per_wall_s": commands / best["elapsed"],
+            "events_per_command": best["events"] / commands if commands else None,
+        }
+
+    off, on = side(unbatched), side(batched)
+    return {
+        "value_size": MACRO_VALUE_SIZE,
+        "storage": "memory",
+        "warmup": MACRO_WARMUP,
+        "duration": MACRO_DURATION,
+        "unbatched": off,
+        "batched": on,
+        "speedup": on["commands_per_wall_s"] / off["commands_per_wall_s"],
+    }
+
+
 def _seed_commit_src() -> Optional[str]:
     """Extract the root commit's ``src`` tree; returns its path or ``None``."""
     try:
@@ -226,6 +309,15 @@ def main() -> int:
             f"macro fig3 vs seed commit: fast {seed_commit['fast_wall_s']:.2f}s, "
             f"seed {seed_commit['seed_wall_s']:.2f}s, speedup {seed_commit['speedup']:.2f}x"
         )
+    batched = bench_macro_batched()
+    print(
+        f"macro fig3 batching off vs on: "
+        f"{batched['unbatched']['commands_per_wall_s']:,.0f} vs "
+        f"{batched['batched']['commands_per_wall_s']:,.0f} commands/wall-s, "
+        f"speedup {batched['speedup']:.2f}x "
+        f"(events/command {batched['unbatched']['events_per_command']:.1f} -> "
+        f"{batched['batched']['events_per_command']:.1f})"
+    )
 
     payload = {
         "benchmark": "bench_kernel",
@@ -235,6 +327,7 @@ def main() -> int:
         "micro": micro,
         "macro_fig3_injected": injected,
         "macro_fig3_seed_commit": seed_commit,
+        "batched": batched,
     }
     out_path = os.path.join(REPO_ROOT, "BENCH_kernel.json")
     with open(out_path, "w") as fh:

@@ -84,11 +84,28 @@ def run_fig3_point(
     duration: float = 8.0,
     threads_per_proposer: int = 10,
     seed: int = 42,
+    batching_enabled: bool = False,
+    batch_max_bytes: int = 32 * 1024,
+    batch_max_delay: float = 0.0005,
+    kernel_batch_dispatch: Optional[bool] = None,
 ) -> ExperimentResult:
-    """Run one (value size, storage mode) point of Figure 3."""
+    """Run one (value size, storage mode) point of Figure 3.
+
+    The figure's baseline runs with batching off (every value gets its own
+    consensus instance).  ``batching_enabled`` switches on coordinator value
+    batching (size-or-timeout assembly, Sections 7.2/7.3) — the throughput
+    configuration — and ``kernel_batch_dispatch`` opts into the kernel's
+    same-actor event-run dispatch (defaults to following
+    ``batching_enabled`` so the baseline path stays byte-for-byte anchored).
+    """
+    if kernel_batch_dispatch is None:
+        kernel_batch_dispatch = batching_enabled
     config = MultiRingConfig(
         storage_mode=storage_mode,
-        batching_enabled=False,
+        batching_enabled=batching_enabled,
+        batch_max_bytes=batch_max_bytes,
+        batch_max_delay=batch_max_delay,
+        kernel_batch_dispatch=kernel_batch_dispatch,
         rate_interval=None,      # single ring: no merge partner to level against
         checkpoint_interval=None,
         trim_interval=None,
@@ -123,13 +140,21 @@ def run_fig3_point(
 
     return ExperimentResult(
         name="fig3",
-        params={"value_size": value_size, "storage": storage_mode.value},
+        params={
+            "value_size": value_size,
+            "storage": storage_mode.value,
+            "batching": batching_enabled,
+        },
         metrics={
             "throughput_mbps": throughput_mbps,
             "ops_per_s": ops_per_second,
             "latency_mean_ms": latency.mean() * 1e3,
             "latency_p95_ms": latency.percentile(95) * 1e3,
             "coordinator_cpu_pct": coordinator.cpu.utilization_percent(),
+            # Kernel-side cost of the run: batching packs many values into one
+            # consensus instance, so the events-per-ordered-command ratio is
+            # the quantity the kernel benchmark tracks.
+            "events_processed": float(system.env.simulator.processed_events),
         },
         series={"latency_cdf": latency.cdf(points=50)},
     )
@@ -141,12 +166,14 @@ def run_fig3(
     warmup: float = 1.0,
     duration: float = 8.0,
     seed: int = 42,
+    batching_enabled: bool = False,
 ) -> List[ExperimentResult]:
     """Run the full Figure 3 sweep (all sizes × all storage modes)."""
     results = []
     for mode in storage_modes:
         for size in value_sizes:
             results.append(
-                run_fig3_point(size, mode, warmup=warmup, duration=duration, seed=seed)
+                run_fig3_point(size, mode, warmup=warmup, duration=duration, seed=seed,
+                               batching_enabled=batching_enabled)
             )
     return results

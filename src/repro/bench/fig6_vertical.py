@@ -45,6 +45,7 @@ def run_fig6_point(
     seed: int = 42,
     workers: Optional[int] = None,
     sharded_configuration: str = "independent",
+    batching_enabled: bool = True,
 ) -> ExperimentResult:
     """Run one ring-count point of Figure 6.
 
@@ -55,6 +56,9 @@ def run_fig6_point(
     ``"shared"`` runs the figure's *original* shape — shared learner, common
     ring — one ring per shard with a parent-side merge stage.  ``workers=None``
     (default) runs the original deployment on one event loop.
+    ``batching_enabled`` controls coordinator value batching; the figure runs
+    with it on (the paper's prototype batches to 32 KB), turning it off gives
+    the unbatched reference point for the same deployment.
     """
     if ring_count < 1:
         raise ValueError("ring_count must be >= 1")
@@ -69,10 +73,11 @@ def run_fig6_point(
             duration=duration,
             seed=seed,
             configuration=sharded_configuration,
+            batching_enabled=batching_enabled,
         )
     config = MultiRingConfig(
         storage_mode=StorageMode.ASYNC_HDD,
-        batching_enabled=True,
+        batching_enabled=batching_enabled,
         batch_max_bytes=32 * 1024,
         rate_interval=0.005,
         max_rate=4000.0,

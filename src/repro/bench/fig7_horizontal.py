@@ -52,6 +52,7 @@ def run_fig7_point(
     offered_rate_per_region: float = 400.0,
     workers: Optional[int] = None,
     sharded_configuration: str = "independent",
+    batching_enabled: bool = True,
 ) -> ExperimentResult:
     """Run one region-count point of Figure 7.
 
@@ -70,6 +71,8 @@ def run_fig7_point(
     global ring in its own shard and a parent-side merge stage, while
     ``"independent"`` drops the global ring.  ``workers=None`` runs the
     original globally ordered deployment on one event loop.
+    ``batching_enabled`` controls coordinator value batching (on by default,
+    as in the prototype); off gives the unbatched reference point.
     """
     if not 1 <= region_count <= len(EC2_REGIONS):
         raise ValueError(f"region_count must be within 1..{len(EC2_REGIONS)}")
@@ -85,10 +88,11 @@ def run_fig7_point(
             seed=seed,
             offered_rate_per_region=offered_rate_per_region,
             configuration=sharded_configuration,
+            batching_enabled=batching_enabled,
         )
     regions = list(EC2_REGIONS[:region_count])
     config = global_config(storage_mode=StorageMode.ASYNC_SSD).with_(
-        batching_enabled=True,
+        batching_enabled=batching_enabled,
         batch_max_bytes=32 * 1024,
         checkpoint_interval=None,
         trim_interval=None,

@@ -90,7 +90,7 @@ def _stable_payload_key(payload: Any) -> Any:
     what time — is.
     """
     from ..core.client import Command, CommandBatch
-    from ..ringpaxos.coordinator import PackedValues
+    from ..core.packing import PackedValues, iter_payloads
 
     if isinstance(payload, Command):
         return (payload.op, payload.args, payload.group_id, payload.client,
@@ -100,7 +100,9 @@ def _stable_payload_key(payload: Any) -> Any:
     if payload is SKIP:
         return "<SKIP>"
     if isinstance(payload, PackedValues):
-        return tuple(_stable_payload_key(value.payload) for value in payload)
+        # Shared recursive unpacker: the identity of a packed instance is
+        # the ordered identities of its leaf payloads.
+        return tuple(_stable_payload_key(leaf) for leaf in iter_payloads(payload))
     return repr(payload)
 
 
@@ -320,16 +322,17 @@ def _schedule_crashes(system: AtomicMulticast, schedule: Any) -> None:
 # Figure 6 (vertical scalability) — one shard per ring+disk
 # ---------------------------------------------------------------------------
 
-def _fig6_config(faulted: bool = False) -> MultiRingConfig:
+def _fig6_config(faulted: bool = False, batching: bool = True) -> MultiRingConfig:
     """The Figure 6 configuration, mirrored from ``run_fig6_point``.
 
     ``faulted`` enables the learner gap-repair timer: a crash-schedule run
     restarts in-shard learners, and the fresh incarnation must re-fetch the
     decided prefix from the acceptors before it can re-emit its stream.
+    ``batching`` mirrors ``run_fig6_point``'s ``batching_enabled``.
     """
     return MultiRingConfig(
         storage_mode=StorageMode.ASYNC_HDD,
-        batching_enabled=True,
+        batching_enabled=batching,
         batch_max_bytes=32 * 1024,
         rate_interval=0.005,
         max_rate=4000.0,
@@ -355,7 +358,10 @@ def _build_fig6_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
     from ..dlog.service import DLogService
     from ..workloads.log import single_log
 
-    config = _fig6_config(faulted=bool(payload.get("crash_schedule")))
+    config = _fig6_config(
+        faulted=bool(payload.get("crash_schedule")),
+        batching=payload.get("batching", True),
+    )
     system = AtomicMulticast(
         topology=single_datacenter(), config=config, seed=payload["seed"]
     )
@@ -412,7 +418,10 @@ def _build_fig6_common_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
     stream is exactly what the merge stage needs to advance the round-robin
     past the idle ring.
     """
-    config = _fig6_config(faulted=bool(payload.get("crash_schedule")))
+    config = _fig6_config(
+        faulted=bool(payload.get("crash_schedule")),
+        batching=payload.get("batching", True),
+    )
     system = AtomicMulticast(
         topology=single_datacenter(), config=config, seed=payload["seed"]
     )
@@ -484,6 +493,7 @@ def run_fig6_sharded(
     configuration: str = "independent",
     segment_interval: float = DEFAULT_SEGMENT_INTERVAL,
     crash_schedule: Optional[Sequence[Tuple[float, str, float]]] = None,
+    batching_enabled: bool = True,
 ) -> ExperimentResult:
     """Figure 6 point with one shard per ring, spread over ``workers`` cores.
 
@@ -538,6 +548,7 @@ def run_fig6_sharded(
         "record_deliveries": record_deliveries,
         "stream_segments": shared,
         "crash_schedule": [tuple(point) for point in crash_schedule or ()] or None,
+        "batching": batching_enabled,
     }
     specs = [
         ShardSpec(
@@ -547,7 +558,7 @@ def run_fig6_sharded(
         )
         for ring in range(ring_count)
     ]
-    config = _fig6_config(faulted=bool(crash_schedule))
+    config = _fig6_config(faulted=bool(crash_schedule), batching=batching_enabled)
     if shared:
         specs.append(
             ShardSpec(
@@ -597,14 +608,14 @@ def run_fig6_sharded(
 # Figure 7 (horizontal scalability) — one shard per region
 # ---------------------------------------------------------------------------
 
-def _fig7_config(faulted: bool = False) -> MultiRingConfig:
+def _fig7_config(faulted: bool = False, batching: bool = True) -> MultiRingConfig:
     """The Figure 7 configuration, mirrored from ``run_fig7_point``.
 
     ``faulted`` enables the learner gap-repair timer (see
-    :func:`_fig6_config`).
+    :func:`_fig6_config`); ``batching`` mirrors ``batching_enabled``.
     """
     return global_config(storage_mode=StorageMode.ASYNC_SSD).with_(
-        batching_enabled=True,
+        batching_enabled=batching,
         batch_max_bytes=32 * 1024,
         checkpoint_interval=None,
         trim_interval=None,
@@ -632,7 +643,10 @@ def _build_fig7_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
 
     region = payload["region"]
     group = payload["group"]
-    config = _fig7_config(faulted=bool(payload.get("crash_schedule")))
+    config = _fig7_config(
+        faulted=bool(payload.get("crash_schedule")),
+        batching=payload.get("batching", True),
+    )
     system = AtomicMulticast(
         topology=ec2_global([region]), config=config, seed=payload["seed"]
     )
@@ -694,7 +708,10 @@ def _build_fig7_global_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
     what the merge stage needs to advance each replica's round-robin.
     """
     regions = list(payload["regions"])
-    config = _fig7_config(faulted=bool(payload.get("crash_schedule")))
+    config = _fig7_config(
+        faulted=bool(payload.get("crash_schedule")),
+        batching=payload.get("batching", True),
+    )
     system = AtomicMulticast(
         topology=ec2_global(regions), config=config, seed=payload["seed"]
     )
@@ -776,6 +793,7 @@ def run_fig7_sharded(
     configuration: str = "independent",
     segment_interval: float = DEFAULT_SEGMENT_INTERVAL,
     crash_schedule: Optional[Sequence[Tuple[float, str, float]]] = None,
+    batching_enabled: bool = True,
 ) -> ExperimentResult:
     """Figure 7 point with one shard per region, spread over ``workers`` cores.
 
@@ -817,6 +835,7 @@ def run_fig7_sharded(
         "record_deliveries": record_deliveries,
         "stream_segments": shared,
         "crash_schedule": [tuple(point) for point in crash_schedule or ()] or None,
+        "batching": batching_enabled,
     }
     specs = [
         ShardSpec(
@@ -826,7 +845,7 @@ def run_fig7_sharded(
         )
         for group, region in enumerate(regions)
     ]
-    config = _fig7_config(faulted=bool(crash_schedule))
+    config = _fig7_config(faulted=bool(crash_schedule), batching=batching_enabled)
     if shared:
         specs.append(
             ShardSpec(

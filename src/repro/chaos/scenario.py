@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..core.amcast import AtomicMulticast
 from ..core.client import Command
 from ..core.config import MultiRingConfig
+from ..core.packing import iter_payloads
 from ..multiring.merge import (
     MergeCursor,
     MergeDivergenceError,
@@ -42,8 +43,6 @@ from ..multiring.merge import (
 from ..multiring.process import MultiRingProcess
 from ..multiring.sharding import ring_components
 from ..net.message import ClientRequest, ClientResponse
-from ..paxos.messages import SKIP
-from ..ringpaxos.coordinator import PackedValues
 from ..sim.actor import Actor, Environment
 from ..sim.disk import StorageMode
 from ..sim.parallel import ShardHarness, ShardSpec, run_sharded
@@ -105,9 +104,9 @@ def generate_spec(seed: int) -> Dict[str, Any]:
     if family == "amcast":
         spec = _generate_amcast_spec(rng, seed)
     elif family == "kvstore":
-        spec = _generate_kvstore_spec(rng)
+        spec = _generate_kvstore_spec(rng, seed)
     else:
-        spec = _generate_dlog_spec(rng)
+        spec = _generate_dlog_spec(rng, seed)
     spec["seed"] = seed
     spec["family"] = family
     return spec
@@ -199,6 +198,12 @@ def _generate_amcast_spec(rng: random.Random, seed: int) -> Dict[str, Any]:
         "messages": messages,
         "schedule": schedule.to_dicts(),
     }
+    if spec["batching"]:
+        # Size-or-timeout assembly delay for the batched draws, from the
+        # dedicated batching stream (see :func:`_draw_batching`).
+        spec["batch_max_delay"] = round(
+            random.Random(seed ^ 0xBA7C4).uniform(0.0002, 0.002), 6
+        )
     # Fault families aimed at the fault-tolerant reactive merge, drawn from a
     # third seed-derived stream so every pre-existing draw — main and shared —
     # stays byte-for-byte identical.  They deliberately target the
@@ -240,7 +245,23 @@ def _generate_amcast_spec(rng: random.Random, seed: int) -> Dict[str, Any]:
     return spec
 
 
-def _generate_kvstore_spec(rng: random.Random) -> Dict[str, Any]:
+def _draw_batching(spec: Dict[str, Any], seed: int, probability: float = 0.35) -> None:
+    """Batched scenario family: draw coordinator-batching knobs into ``spec``.
+
+    Drawn from a dedicated seed-derived stream (like the shared-learner and
+    fault-family streams) so every pre-existing draw in the main stream stays
+    byte-for-byte identical — old seeds reproduce exactly, batched variants
+    only *add* keys.  A batched scenario runs the same workload through
+    coordinator value batching with a random size-or-timeout delay, and the
+    invariant oracle validates its delivery traces unchanged.
+    """
+    batch_rng = random.Random(seed ^ 0xBA7C4)
+    if batch_rng.random() < probability:
+        spec["batching"] = True
+        spec["batch_max_delay"] = round(batch_rng.uniform(0.0002, 0.002), 6)
+
+
+def _generate_kvstore_spec(rng: random.Random, seed: int) -> Dict[str, Any]:
     partitions = rng.choice([1, 1, 2])
     replicas = rng.randint(2, 3)
     horizon = rng.uniform(1.5, 2.5)
@@ -256,7 +277,7 @@ def _generate_kvstore_spec(rng: random.Random) -> Dict[str, Any]:
             "keys": rng.randint(2, 4),
             "requests": rng.randint(20, 40),
         })
-    return {
+    spec = {
         "partitions": partitions,
         "replicas": replicas,
         "storage_mode": _pick_storage(rng),
@@ -264,9 +285,11 @@ def _generate_kvstore_spec(rng: random.Random) -> Dict[str, Any]:
         "clients": clients,
         "schedule": schedule.to_dicts(),
     }
+    _draw_batching(spec, seed)
+    return spec
 
 
-def _generate_dlog_spec(rng: random.Random) -> Dict[str, Any]:
+def _generate_dlog_spec(rng: random.Random, seed: int) -> Dict[str, Any]:
     logs = rng.choice([1, 2, 3])
     replicas = 2
     horizon = rng.uniform(1.5, 2.5)
@@ -275,7 +298,7 @@ def _generate_dlog_spec(rng: random.Random) -> Dict[str, Any]:
         + [f"dlog{log}-node{i}" for log in range(logs) for i in range(3)]
     )
     schedule = _generate_faults(rng, horizon, crash_victims=victims, sites=[], allow_reconfig=False)
-    return {
+    spec = {
         "logs": logs,
         "replicas": replicas,
         "storage_mode": _pick_storage(rng),
@@ -284,6 +307,8 @@ def _generate_dlog_spec(rng: random.Random) -> Dict[str, Any]:
         "multi_append_every": rng.choice([0, 5, 8]),
         "schedule": schedule.to_dicts(),
     }
+    _draw_batching(spec, seed)
+    return spec
 
 
 def _generate_faults(
@@ -428,6 +453,7 @@ def _chaos_config(spec: Dict[str, Any], **overrides: Any) -> MultiRingConfig:
         max_rate=2000.0,
         storage_mode=StorageMode(spec["storage_mode"]),
         batching_enabled=spec.get("batching", False),
+        batch_max_delay=spec.get("batch_max_delay", 0.0005),
         checkpoint_interval=None,
         trim_interval=None,
         gap_repair_interval=0.15,
@@ -724,13 +750,9 @@ def _expected_ring_order(stream: List[Tuple[int, Any]]) -> List[Any]:
     """
     expected: List[Any] = []
     for _instance, value in stream:
-        payload = value.payload
-        if payload is SKIP:
-            continue
-        if isinstance(payload, PackedValues):
-            expected.extend(inner.payload for inner in payload)
-        else:
-            expected.append(payload)
+        # Shared recursive unpacker: skips deliver nothing, packed values
+        # (packs of packs included) unpack to their leaf payloads in order.
+        expected.extend(iter_payloads(value.payload))
     return expected
 
 

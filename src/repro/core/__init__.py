@@ -3,6 +3,7 @@
 from .amcast import AtomicMulticast, parse_roles
 from .client import ClosedLoopClient, Command, CommandBatch, CommandBatcher, OpenLoopClient
 from .config import MultiRingConfig, global_config, local_config
+from .packing import PackedValues, iter_commands, iter_payloads, iter_values
 from .smr import ProposerFrontend, ReactiveReplicaHost, StateMachineReplica
 
 __all__ = [
@@ -16,6 +17,10 @@ __all__ = [
     "MultiRingConfig",
     "global_config",
     "local_config",
+    "PackedValues",
+    "iter_commands",
+    "iter_payloads",
+    "iter_values",
     "ProposerFrontend",
     "ReactiveReplicaHost",
     "StateMachineReplica",

@@ -36,6 +36,7 @@ from ..multiring.process import MultiRingProcess
 from ..net.ring import RingMember, RingOverlay
 from ..sim.actor import Actor, Environment
 from ..sim.disk import Disk
+from ..sim.kernel import Simulator
 from ..sim.network import Network
 from ..sim.topology import Topology, single_datacenter
 from .config import MultiRingConfig
@@ -84,11 +85,14 @@ class AtomicMulticast:
         shared stream whose order a merged run and a sharded run interleave
         differently.
         """
-        self.env = Environment(seed=seed)
+        self.config = config or MultiRingConfig()
+        self.env = Environment(
+            simulator=Simulator(batch_dispatch=self.config.kernel_batch_dispatch),
+            seed=seed,
+        )
         self.topology = topology or single_datacenter()
         self.network = Network(self.env, self.topology, jitter_fraction=jitter_fraction)
         self.coordination = CoordinationService()
-        self.config = config or MultiRingConfig()
         self._ring_configs: Dict[int, MultiRingConfig] = {}
         self._evicted_members: Dict[str, Dict[int, RingMember]] = {}
         self._started = False

@@ -97,18 +97,25 @@ class CommandBatcher:
             raise ValueError("max_bytes must be positive")
         self.max_bytes = max_bytes
         self._pending: Dict[int, List[Command]] = {}
+        #: running byte total per group — kept in lockstep with ``_pending``
+        #: so :meth:`add` is O(1) instead of re-summing the queue every time
+        self._pending_bytes: Dict[int, int] = {}
 
     def add(self, command: Command) -> Optional[CommandBatch]:
         """Queue a command; returns a full batch when the budget is reached."""
-        queue = self._pending.setdefault(command.group_id, [])
+        group_id = command.group_id
+        queue = self._pending.setdefault(group_id, [])
         queue.append(command)
-        if sum(c.size_bytes for c in queue) >= self.max_bytes:
-            return self.flush_group(command.group_id)
+        total = self._pending_bytes.get(group_id, 0) + command.size_bytes
+        self._pending_bytes[group_id] = total
+        if total >= self.max_bytes:
+            return self.flush_group(group_id)
         return None
 
     def flush_group(self, group_id: int) -> Optional[CommandBatch]:
         """Emit whatever is pending for ``group_id`` (``None`` when empty)."""
         queue = self._pending.pop(group_id, [])
+        self._pending_bytes.pop(group_id, None)
         if not queue:
             return None
         return CommandBatch(group_id=group_id, commands=queue)
@@ -121,11 +128,16 @@ class CommandBatcher:
             if cmds
         ]
         self._pending.clear()
+        self._pending_bytes.clear()
         return batches
 
     def pending_count(self, group_id: int) -> int:
         """Commands currently queued for ``group_id``."""
         return len(self._pending.get(group_id, []))
+
+    def pending_bytes(self, group_id: int) -> int:
+        """Bytes currently queued for ``group_id``."""
+        return self._pending_bytes.get(group_id, 0)
 
 
 #: Builds the next command for a closed-loop client; receives the sequence

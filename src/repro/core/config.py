@@ -76,6 +76,14 @@ class MultiRingConfig:
     batching_enabled: bool = False
     #: Maximum bytes of payload packed into one instance when batching.
     batch_max_bytes: int = CLIENT_BATCH_BYTES
+    #: Size-or-timeout assembly: how long the coordinator may hold a partial
+    #: batch waiting for more values (seconds).  ``0`` disables the hold —
+    #: only co-queued values share an instance, as before the delay trigger.
+    batch_max_delay: float = 0.0005
+    #: Same-actor event-run batch dispatch in the kernel (see
+    #: :class:`repro.sim.kernel.Simulator`).  Off by default so the frozen
+    #: seed differentials keep anchoring the exact default-path loop.
+    kernel_batch_dispatch: bool = False
     #: How often replicas checkpoint their state (seconds); None disables it.
     checkpoint_interval: Optional[float] = 10.0
     #: How often coordinators run the trim protocol (seconds); None disables it.
@@ -97,7 +105,9 @@ class MultiRingConfig:
     def batch_policy(self) -> InstanceBatchPolicy:
         """The coordinator batching policy derived from this configuration."""
         return InstanceBatchPolicy(
-            enabled=self.batching_enabled, max_bytes=self.batch_max_bytes
+            enabled=self.batching_enabled,
+            max_bytes=self.batch_max_bytes,
+            max_delay=self.batch_max_delay,
         )
 
     def ring_node_config(self) -> RingNodeConfig:
@@ -110,6 +120,7 @@ class MultiRingConfig:
             rate_policy=self.rate_leveler(),
             trim_interval=self.trim_interval,
             gap_repair_interval=self.gap_repair_interval,
+            learner_batch_drain=self.batching_enabled,
         )
 
     def with_(self, **changes) -> "MultiRingConfig":

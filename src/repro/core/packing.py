@@ -1,0 +1,99 @@
+"""Recursive unpacking of batched payloads.
+
+Two batching layers can wrap the commands a replica ultimately executes:
+
+* **client batching** — a :class:`~repro.core.client.CommandBatch` groups
+  several :class:`~repro.core.client.Command` objects addressed to one
+  partition into a single multicast value (Sections 7.2/7.3);
+* **coordinator instance batching** — a
+  :class:`~repro.ringpaxos.coordinator.PackedValues` payload groups several
+  proposed values (each possibly a command batch) into one consensus
+  instance.
+
+Every consumer that looks inside a decided value — the merger's emit path,
+the SMR apply path, the chaos oracle's expected-order digests and the
+sharded engine's payload identities — needs the same unpacking rules.  This
+module is the single implementation; the ``isinstance(payload,
+PackedValues)`` checks that used to be copied across those layers all route
+here now.
+
+The unpacking is recursive: a ``PackedValues`` of ``PackedValues`` (which a
+re-proposed repaired instance can in principle produce) flattens all the way
+down, and skips nested inside a pack are dropped exactly like top-level
+skips.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Tuple
+
+from ..paxos.messages import SKIP, ProposalValue
+from ..ringpaxos.coordinator import PackedValues
+from .client import Command, CommandBatch
+
+__all__ = [
+    "PackedValues",
+    "iter_values",
+    "iter_payloads",
+    "iter_commands",
+    "packed_proposal_ids",
+]
+
+
+def iter_values(value: ProposalValue) -> Iterator[ProposalValue]:
+    """The leaf :class:`ProposalValue`\\ s inside one decided value.
+
+    A plain value yields itself; a value whose payload is
+    :class:`PackedValues` yields every constituent value, recursively.  Each
+    leaf keeps its original ``(proposer, proposal_id, created_at)`` metadata,
+    which is what lets clients match acks and account per-command latency
+    after packing.
+    """
+    payload = value.payload
+    if isinstance(payload, PackedValues):
+        for inner in payload.values:
+            yield from iter_values(inner)
+    else:
+        yield value
+
+
+def iter_payloads(payload: Any) -> Iterator[Any]:
+    """The leaf application payloads inside ``payload``, skips dropped.
+
+    Mirrors the merger's emit rules: a skip delivers nothing, a packed
+    payload delivers each constituent payload in pack order (recursively),
+    anything else delivers itself.  Command batches are *not* opened here —
+    a batch is one application payload; use :func:`iter_commands` for the
+    command level.
+    """
+    if payload is SKIP:
+        return
+    if isinstance(payload, PackedValues):
+        for inner in payload.values:
+            yield from iter_payloads(inner.payload)
+    else:
+        yield payload
+
+
+def iter_commands(payload: Any) -> Iterator[Command]:
+    """Every :class:`Command` inside ``payload``, in delivery order.
+
+    Opens both batching layers — ``PackedValues`` recursively (via
+    :func:`iter_payloads`) and ``CommandBatch`` — and drops anything that is
+    not a command (skips, opaque benchmark payloads).
+    """
+    for leaf in iter_payloads(payload):
+        if isinstance(leaf, CommandBatch):
+            yield from leaf.commands
+        elif isinstance(leaf, Command):
+            yield leaf
+
+
+def packed_proposal_ids(value: ProposalValue) -> List[Tuple[str, int]]:
+    """The ``(proposer, proposal_id)`` pairs a decided value answers.
+
+    For a plain value this is its own single pair; for a packed value it is
+    the pair of every constituent, in pack order — the identities acks and
+    retries must be matched against.
+    """
+    return [(leaf.proposer, leaf.proposal_id) for leaf in iter_values(value)]

@@ -41,6 +41,7 @@ from ..multiring.merge import MergeCursor
 from ..multiring.process import MultiRingProcess
 from .client import Command, CommandBatch
 from .config import MultiRingConfig
+from .packing import PackedValues, iter_commands, iter_payloads
 
 __all__ = ["StateMachineReplica", "ProposerFrontend", "ReactiveReplicaHost"]
 
@@ -120,6 +121,19 @@ class StateMachineReplica(MultiRingProcess):
                 self._apply_and_respond(group_id, command)
         elif isinstance(payload, Command):
             self._apply_and_respond(group_id, payload)
+        elif isinstance(payload, PackedValues):
+            # A coordinator-packed instance.  The merger normally unpacks
+            # these before delivery, but paths that bypass it — recovery
+            # retransmission injection, tests driving a replica directly —
+            # must not silently count a whole pack as one opaque command.
+            for leaf in iter_payloads(payload):
+                if isinstance(leaf, CommandBatch):
+                    for command in leaf:
+                        self._apply_and_respond(group_id, command)
+                elif isinstance(leaf, Command):
+                    self._apply_and_respond(group_id, leaf)
+                else:
+                    self._commands_applied += 1
         else:
             # Opaque payload (e.g. the dummy service of the baseline bench).
             self._commands_applied += 1
@@ -427,19 +441,19 @@ class ReactiveReplicaHost:
         watermark = self._cursor.watermark
         if watermark is None:
             return
-        payload = value.payload
-        commands = payload if isinstance(payload, CommandBatch) else (payload,)
-        for command in commands:
-            if isinstance(command, Command):
-                latency = watermark - command.created_at
-                # A stall is an availability incident, not merge latency:
-                # subtract the in-flight interval's overlap with every
-                # closed stall window.
-                for start, end in self._stall_windows:
-                    overlap = min(watermark, end) - max(command.created_at, start)
-                    if overlap > 0.0:
-                        latency -= overlap
-                self._latency.record(max(0.0, latency))
+        # The shared recursive unpacker opens both batching layers (packed
+        # instances and command batches), so each inner command's own
+        # ``created_at`` drives its latency sample even after packing.
+        for command in iter_commands(value.payload):
+            latency = watermark - command.created_at
+            # A stall is an availability incident, not merge latency:
+            # subtract the in-flight interval's overlap with every
+            # closed stall window.
+            for start, end in self._stall_windows:
+                overlap = min(watermark, end) - max(command.created_at, start)
+                if overlap > 0.0:
+                    latency -= overlap
+            self._latency.record(max(0.0, latency))
 
     # ------------------------------------------------------------ inspection
     @property

@@ -35,7 +35,14 @@ __all__ = ["CoordinatorState", "InstanceBatchPolicy", "PackedValues"]
 
 @dataclass
 class PackedValues:
-    """Payload wrapper used when several values share one consensus instance."""
+    """Payload wrapper used when several values share one consensus instance.
+
+    Every constituent :class:`ProposalValue` is kept intact — its
+    ``(proposer, proposal_id, created_at)`` metadata survives packing, so
+    client ack matching and per-command latency accounting keep working after
+    the merge layer unpacks the instance (see :mod:`repro.core.packing` for
+    the shared recursive unpacker).
+    """
 
     values: List[ProposalValue] = field(default_factory=list)
 
@@ -44,6 +51,16 @@ class PackedValues:
 
     def __len__(self) -> int:
         return len(self.values)
+
+    @property
+    def proposal_ids(self) -> Tuple[Tuple[str, int], ...]:
+        """``(proposer, proposal_id)`` of every packed value, in pack order."""
+        return tuple((v.proposer, v.proposal_id) for v in self.values)
+
+    @property
+    def created_ats(self) -> Tuple[float, ...]:
+        """Submission time of every packed value, in pack order."""
+        return tuple(v.created_at for v in self.values)
 
 
 @dataclass
@@ -60,7 +77,11 @@ class InstanceBatchPolicy:
         packets).
     max_delay:
         How long the coordinator may hold a value back waiting for more
-        values to share its instance.
+        values to share its instance (size-or-timeout assembly: a batch is
+        emitted as soon as it fills ``max_bytes``, and whatever is pending
+        when the delay expires is emitted regardless).  ``0`` disables the
+        hold — every flush drains the queue immediately, so only values that
+        happen to be co-queued share an instance.
     """
 
     enabled: bool = False
@@ -127,14 +148,24 @@ class CoordinatorState:
         """Whether values are waiting to be assigned instances."""
         return bool(self._pending)
 
-    def next_assignments(self) -> List[Tuple[int, ProposalValue]]:
+    def next_assignments(self, force: bool = True) -> List[Tuple[int, ProposalValue]]:
         """Assign instances to pending values according to the batch policy.
 
         Returns ``(instance, value)`` pairs ready to be sent in Phase 2
         messages.  Without batching each pending value gets its own instance;
         with batching, values are packed into instances of up to
-        ``max_bytes`` payload (the packed value's payload is the list of the
-        original payloads).
+        ``max_bytes`` payload.  A packed instance keeps every constituent
+        value intact inside :class:`PackedValues` — all ``(proposer,
+        proposal_id, created_at)`` triples survive (the wrapping value's own
+        header fields mirror the first constituent, but consumers must use
+        :attr:`PackedValues.proposal_ids` / the shared unpacker, never the
+        wrapper's header, to match acks).
+
+        ``force=False`` implements the hold side of size-or-timeout assembly:
+        only batches that already fill ``max_bytes`` are emitted, and a
+        trailing partial batch stays queued for the caller's delay timer to
+        flush later (with ``force=True``).  Without batching ``force`` is
+        ignored — every value drains immediately.
         """
         if not self.phase1_ready:
             return []
@@ -144,15 +175,20 @@ class CoordinatorState:
                 value = self._pending.popleft()
                 assignments.append((self.ledger.allocate(), value))
         else:
+            max_bytes = self.batch_policy.max_bytes
             while self._pending:
                 group: List[ProposalValue] = []
                 size = 0
                 while self._pending and (
-                    size + self._pending[0].size_bytes <= self.batch_policy.max_bytes or not group
+                    size + self._pending[0].size_bytes <= max_bytes or not group
                 ):
                     value = self._pending.popleft()
                     group.append(value)
                     size += value.size_bytes
+                if not force and not self._pending and size < max_bytes:
+                    # Partial trailing batch: hold it for the delay trigger.
+                    self._pending.extendleft(reversed(group))
+                    break
                 if len(group) == 1:
                     packed = group[0]
                 else:

@@ -33,11 +33,21 @@ class RingLearner:
         Callback ``(ring_id, instance, value)`` invoked in strict instance
         order (skips included — the merger needs them to advance its
         round-robin counters).
+    batch_drain:
+        Drain contiguously decided runs in one pass: the run is probed out
+        of the decided map first, then emitted in a tight loop (one map
+        lookup per instance instead of one per loop head plus the per-item
+        bookkeeping re-reads).  Emission order and all per-item state
+        transitions are identical to the default drain; the flag keeps the
+        default path byte-for-byte what the frozen differentials anchored.
     """
 
-    def __init__(self, ring_id: int, on_ordered: DeliveryCallback) -> None:
+    def __init__(
+        self, ring_id: int, on_ordered: DeliveryCallback, batch_drain: bool = False
+    ) -> None:
         self.ring_id = ring_id
         self._on_ordered = on_ordered
+        self._batch_drain = batch_drain
         self._ledger = InstanceLedger()
         self._pending_values: Dict[int, ProposalValue] = {}
         self._undeliv: set = set()
@@ -107,6 +117,30 @@ class RingLearner:
         pending = self._pending_values
         on_ordered = self._on_ordered
         ring_id = self.ring_id
+        if self._batch_drain:
+            # Batch drain: collect the whole contiguously decided run, then
+            # emit it without re-probing the decided map per iteration.  The
+            # outer loop catches instances decided while the run was being
+            # emitted (e.g. by a reentrant retransmission injection).
+            get = decided.get
+            while True:
+                nxt = self._next_to_emit
+                run: List[ProposalValue] = []
+                value = get(nxt)
+                while value is not None:
+                    run.append(value)
+                    value = get(nxt + len(run))
+                if not run:
+                    return
+                for value in run:
+                    self._emitted += 1
+                    if value.payload is SKIP:
+                        self._skipped += 1
+                    on_ordered(ring_id, nxt, value)
+                    pending.pop(nxt, None)
+                    nxt += 1
+                    self._next_to_emit = nxt
+            return
         while True:
             nxt = self._next_to_emit
             value = decided.get(nxt)

@@ -87,6 +87,12 @@ class RingNodeConfig:
         instances it is missing — this is how learners catch up after a
         network partition dropped circulating decisions (the chaos harness
         switches it on for every fault scenario).
+    learner_batch_drain:
+        Run the learner's in-order drain in contiguous-run batches (one
+        decided-map probe pass per run instead of per instance).  Delivery
+        order is identical either way; the flag exists so the default path
+        stays byte-for-byte the code the frozen differentials were anchored
+        on.  Enabled by the batching configurations.
     """
 
     storage_mode: StorageMode = StorageMode.IN_MEMORY
@@ -97,6 +103,7 @@ class RingNodeConfig:
     trim_interval: Optional[float] = None
     trim_quorum: Optional[int] = None
     gap_repair_interval: Optional[float] = None
+    learner_batch_drain: bool = False
 
     def __post_init__(self) -> None:
         if self.cpu_model is None:
@@ -140,7 +147,11 @@ class RingNode:
 
         self.learner: Optional[RingLearner] = None
         if self.is_learner:
-            self.learner = RingLearner(overlay.ring_id, on_deliver or (lambda *a: None))
+            self.learner = RingLearner(
+                overlay.ring_id,
+                on_deliver or (lambda *a: None),
+                batch_drain=self.config.learner_batch_drain,
+            )
 
         self.coordinator: Optional[CoordinatorState] = None
         self._trim_reports: Dict[str, int] = {}
@@ -170,6 +181,11 @@ class RingNode:
         #: bound once: handed to the acceptor as the durability callback on
         #: every vote (avoids a bound-method allocation per message)
         self._after_own_vote_callback = self._after_own_vote
+        #: coordinator batch assembly: whether a delay-trigger flush is armed,
+        #: and its kernel handle (size-or-timeout batching, see
+        #: :meth:`_flush_assignments`)
+        self._batch_timer_armed = False
+        self._batch_flush_handle = None
 
     def _refresh_ring_geometry(self) -> None:
         """Cache the per-message ring lookups; rerun when the overlay changes.
@@ -317,9 +333,43 @@ class RingNode:
         self.coordinator.enqueue(value)
         self._flush_assignments()
 
-    def _flush_assignments(self) -> None:
+    def _flush_assignments(self, force: Optional[bool] = None) -> None:
+        """Assign instances to pending values and emit their Phase 2 messages.
+
+        Size-or-timeout batch assembly: with batching enabled and a positive
+        ``max_delay``, only full batches are emitted immediately; a trailing
+        partial batch stays pending and a one-shot flush timer drains it
+        ``max_delay`` later (so batches actually form under open-loop load
+        instead of every enqueue flushing a single-value instance).  Without
+        batching — the default — every call drains everything, exactly as
+        before.
+        """
         assert self.coordinator is not None
-        for instance, value in self.coordinator.next_assignments():
+        policy = self.config.batch_policy
+        if force is None:
+            force = not (policy.enabled and policy.max_delay > 0.0)
+        for instance, value in self.coordinator.next_assignments(force=force):
+            self._emit_phase2(instance, value, span=1)
+        if (
+            not force
+            and not self._batch_timer_armed
+            and self.coordinator.has_pending()
+            and self.coordinator.phase1_ready
+        ):
+            self._batch_timer_armed = True
+            self._batch_flush_handle = self.host.env.simulator.call_later(
+                policy.max_delay, self._batch_flush_tick
+            )
+
+    def _batch_flush_tick(self) -> None:
+        """Delay trigger: drain whatever the size trigger left pending."""
+        self._batch_timer_armed = False
+        self._batch_flush_handle = None
+        if not self.host.alive or not self._started:
+            return
+        if self.coordinator is None or not self.coordinator.phase1_ready:
+            return
+        for instance, value in self.coordinator.next_assignments(force=True):
             self._emit_phase2(instance, value, span=1)
 
     def _emit_phase2(self, instance: int, value: ProposalValue, span: int) -> None:
@@ -690,6 +740,10 @@ class RingNode:
     def crash(self) -> None:
         """Drop volatile state on a process crash (the WAL keeps its records)."""
         self._started = False
+        if self._batch_flush_handle is not None:
+            self._batch_flush_handle.cancel()
+            self._batch_flush_handle = None
+        self._batch_timer_armed = False
         if self.acceptor is not None:
             self.acceptor.crash()
 

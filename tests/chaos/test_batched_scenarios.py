@@ -1,0 +1,51 @@
+"""Batched chaos scenarios: the batching path under the invariant oracle.
+
+The generator draws a batched variant for every scenario family (coordinator
+value batching with a random size-or-timeout delay, drawn from a dedicated
+seed stream so pre-existing draws are untouched).  These smokes pin a few
+known-batched seeds per family and require every invariant to hold — the
+same oracle, the same delivery-trace checks, just with values packed into
+shared consensus instances on the way through.
+"""
+
+import pytest
+
+from repro.chaos import generate_spec, run_scenario
+
+#: Seeds whose generated spec draws ``batching: True``, per family
+#: (verified by ``test_seeds_draw_batching``; regenerate by scanning
+#: ``generate_spec`` if the draw streams ever change).
+BATCHED_SEEDS = {
+    "amcast": [3, 8, 14],
+    "kvstore": [5, 7, 9],
+    "dlog": [6, 13, 22],
+}
+
+
+class TestBatchedScenarioFamily:
+    def test_seeds_draw_batching(self):
+        for family, seeds in BATCHED_SEEDS.items():
+            for seed in seeds:
+                spec = generate_spec(seed)
+                assert spec["family"] == family, (family, seed, spec["family"])
+                assert spec.get("batching") is True, (family, seed)
+                assert 0.0002 <= spec["batch_max_delay"] <= 0.002
+
+    def test_every_family_has_batched_and_unbatched_draws(self):
+        """The batched variant is a *family*, not a global switch."""
+        seen = {}
+        for seed in range(120):
+            spec = generate_spec(seed)
+            seen.setdefault(spec["family"], set()).add(bool(spec.get("batching")))
+        for family in ("amcast", "kvstore", "dlog"):
+            assert seen[family] == {True, False}, (family, seen.get(family))
+
+    @pytest.mark.parametrize(
+        "seed", [s for seeds in BATCHED_SEEDS.values() for s in seeds]
+    )
+    def test_batched_scenario_upholds_every_invariant(self, seed, tmp_path):
+        result = run_scenario(seed, artifacts_dir=str(tmp_path))
+        assert result.ok, (
+            f"seed {seed} ({result.family}): "
+            + "; ".join(str(v) for v in result.violations)
+        )
