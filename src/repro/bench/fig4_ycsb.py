@@ -24,11 +24,13 @@ from ..baselines.singleserver import SingleServerStore
 from ..core.amcast import AtomicMulticast
 from ..core.client import ClosedLoopClient
 from ..core.config import MultiRingConfig
+from ..core.swarm import ClientSwarm, shared_factory
 from ..kvstore.client import MRPStoreCommands, kv_request_factory
 from ..kvstore.partitioning import HashPartitioner
 from ..kvstore.service import MRPStoreService
 from ..sim.disk import StorageMode
 from ..sim.topology import single_datacenter
+from ..workloads.arrival import ArrivalCurve, constant
 from ..workloads.ycsb import YCSB_WORKLOADS, YCSBWorkload, ycsb_keyspace
 from .runner import ExperimentResult, MeasurementWindow, measure
 
@@ -72,12 +74,30 @@ def run_fig4_point(
     warmup: float = 1.0,
     duration: float = 8.0,
     seed: int = 42,
+    client_engine: str = "actors",
+    simulated_users: Optional[int] = None,
+    client_mode: str = "closed",
+    arrival: Optional[ArrivalCurve] = None,
+    slo: Optional[Dict[str, float]] = None,
+    sketch: object = "auto",
 ) -> ExperimentResult:
-    """Run one (system, workload) bar of Figure 4."""
+    """Run one (system, workload) bar of Figure 4.
+
+    ``client_engine="actors"`` (default) drives the system with one
+    :class:`ClosedLoopClient` holding ``client_threads`` outstanding requests
+    — the paper's setup.  ``client_engine="swarm"`` replaces it with a
+    :class:`~repro.core.swarm.ClientSwarm` of ``simulated_users`` flyweight
+    clients: closed-loop (one outstanding request per user) or, for very
+    large user counts, open-loop following ``arrival``.  ``slo`` enables
+    per-class SLO accounting and ``sketch`` bounds recorder memory (see the
+    swarm docs).
+    """
     if system_name not in FIG4_SYSTEMS:
         raise ValueError(f"unknown system {system_name}")
     if workload_name not in YCSB_WORKLOADS:
         raise ValueError(f"unknown workload {workload_name}")
+    if client_engine not in ("actors", "swarm"):
+        raise ValueError(f"unknown client engine {client_engine}")
 
     workload = _build_workload(workload_name, record_count, seed)
     keyspace = ycsb_keyspace(record_count)
@@ -110,14 +130,31 @@ def run_fig4_point(
         server.preload(keyspace)
         frontends = {g: server.name for g in _PARTITIONS}
 
-    client = ClosedLoopClient(
-        system.env,
-        "ycsb-client",
-        frontends_by_group=frontends,
-        request_factory=factory,
-        concurrency=client_threads,
-        metric_prefix="ycsb",
-    )
+    if client_engine == "swarm":
+        users = simulated_users or client_threads
+        swarm = ClientSwarm(
+            system.env,
+            "ycsb-swarm",
+            frontends_by_group=frontends,
+            request_factory=shared_factory(factory),
+            clients=users,
+            mode=client_mode,
+            concurrency=1,
+            arrival=arrival or constant(float(client_threads) * 25.0),
+            metric_prefix="ycsb",
+            addressing="auto",
+            slo=slo,
+            sketch=sketch,
+        )
+    else:
+        client = ClosedLoopClient(
+            system.env,
+            "ycsb-client",
+            frontends_by_group=frontends,
+            request_factory=factory,
+            concurrency=client_threads,
+            metric_prefix="ycsb",
+        )
 
     window = MeasurementWindow(warmup=warmup, duration=duration)
     results = measure(
@@ -125,6 +162,7 @@ def run_fig4_point(
         window,
         throughput_metrics=["ycsb.throughput"],
         latency_metrics=["ycsb.latency"],
+        slo_classes=sorted(slo) if slo else (),
     )
 
     metrics = {
@@ -132,6 +170,14 @@ def run_fig4_point(
         "latency_mean_ms": results["ycsb.latency.mean_ms"],
         "latency_p95_ms": results["ycsb.latency.p95_ms"],
     }
+    if client_engine == "swarm":
+        metrics["simulated_users"] = float(swarm.clients)
+        metrics["swarm_completed"] = float(swarm.completed)
+        metrics["latency_p99_ms"] = results["ycsb.latency.p99_ms"]
+        for cls in sorted(slo) if slo else ():
+            metrics[f"slo_{cls}_violation_fraction"] = results[
+                f"slo.{cls}.violation_fraction"
+            ]
     # Workload F's per-operation latency breakdown (bottom graph of Figure 4).
     if workload_name == "F":
         for label, metric_name in (
@@ -140,11 +186,12 @@ def run_fig4_point(
         ):
             recorder = system.env.metrics.latency(metric_name)
             metrics[f"latency_{label}_ms"] = recorder.mean() * 1e3
-    return ExperimentResult(
-        name="fig4",
-        params={"system": system_name, "workload": workload_name, "threads": client_threads},
-        metrics=metrics,
-    )
+    params = {"system": system_name, "workload": workload_name, "threads": client_threads}
+    if client_engine == "swarm":
+        params["engine"] = "swarm"
+        params["users"] = simulated_users or client_threads
+        params["mode"] = client_mode
+    return ExperimentResult(name="fig4", params=params, metrics=metrics)
 
 
 def run_fig4(

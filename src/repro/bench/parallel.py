@@ -52,6 +52,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..core.amcast import AtomicMulticast
 from ..core.client import ClosedLoopClient, OpenLoopClient
 from ..core.config import MultiRingConfig, global_config
+from ..core.swarm import ChurnSpec, PORT_ADDRESSING_LIMIT
 from ..core.smr import ProposerFrontend, ReactiveReplicaHost
 from ..multiring.merge import (
     RingSegment,
@@ -66,6 +67,7 @@ from ..sim.actor import Environment
 from ..sim.disk import StorageMode
 from ..sim.parallel import ParallelRunResult, ShardSpec, run_sharded
 from ..sim.topology import EC2_REGIONS, ec2_global, single_datacenter
+from ..workloads.arrival import ArrivalCurve, constant
 from .runner import ExperimentResult, MeasurementWindow, ShardedMeasurement
 
 __all__ = ["run_fig6_sharded", "run_fig7_sharded"]
@@ -159,6 +161,27 @@ def _attach_delivery_digest(harness: ShardedMeasurement, replicas) -> None:
     def finalize() -> Dict[str, Any]:
         result = original_finalize()
         result["deliveries"] = _delivery_digest(recorder)
+        return result
+
+    harness.finalize = finalize  # type: ignore[method-assign]
+
+
+def _attach_swarm_stats(harness: ShardedMeasurement, swarm, trace: bool) -> None:
+    """Ship a shard's swarm accounting (and optional command trace) home.
+
+    Wrapped into ``finalize`` so the counters are read in-worker *after* the
+    run; the trace tuples are already picklable.
+    """
+    original_finalize = harness.finalize
+
+    def finalize() -> Dict[str, Any]:
+        result = original_finalize()
+        result["swarm_users"] = swarm.clients
+        result["swarm_issued"] = swarm.issued
+        result["swarm_completed"] = swarm.completed
+        result["swarm_addressing"] = swarm.addressing
+        if trace:
+            result["swarm_trace"] = swarm.command_trace
         return result
 
     harness.finalize = finalize  # type: ignore[method-assign]
@@ -661,23 +684,82 @@ def _build_fig7_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
     )
     service.preload(preload_keys(payload["key_count"]))
 
-    rng = _random.Random(payload["seed"] + group)
-    workload = update_only_workload(
-        rng,
-        key_count=payload["key_count"],
-        value_bytes=payload["update_bytes"],
-        key_prefix=f"r{group}-key",
-    )
     commands = MRPStoreCommands(HashPartitioner([group]))
-    OpenLoopClient(
-        system.env,
-        f"fig7-client-{region}",
-        frontends_by_group=service.frontend_map(preferred_site=region),
-        request_factory=kv_request_factory(commands, workload),
-        rate_per_second=payload["offered_rate"],
-        site=region,
-        metric_prefix=f"fig7.{region}",
-    )
+    frontends = service.frontend_map(preferred_site=region)
+    engine = payload.get("client_engine", "actors")
+    users = payload.get("users") or 1
+
+    def factory_for(i: int):
+        # Per-user workload stream: identical (engine-independent) seeds, so
+        # the swarm engine's flyweight client ``i`` draws the exact request
+        # sequence the individual actor ``fig7-client-{region}-{i}`` draws.
+        workload = update_only_workload(
+            _random.Random((payload["seed"] + group) * 100_003 + i),
+            key_count=payload["key_count"],
+            value_bytes=payload["update_bytes"],
+            key_prefix=f"r{group}-key",
+        )
+        return kv_request_factory(commands, workload)
+
+    swarm = None
+    if engine == "swarm":
+        from ..core.swarm import ClientSwarm
+
+        factories = [factory_for(i) for i in range(users)]
+        swarm = ClientSwarm(
+            system.env,
+            f"fig7-swarm-{region}",
+            frontends_by_group=frontends,
+            request_factory=lambda index, sequence: factories[index](sequence),
+            clients=users,
+            mode="open",
+            arrival=payload.get("arrival") or constant(payload["offered_rate"]),
+            stagger=payload.get("stagger", False),
+            site=region,
+            metric_prefix=f"fig7.{region}",
+            addressing="auto",
+            port_names=(
+                [f"fig7-client-{region}-{i}" for i in range(users)]
+                if users <= PORT_ADDRESSING_LIMIT
+                else None
+            ),
+            churn=payload.get("churn"),
+            sketch=payload.get("sketch", "auto"),
+            record_trace=bool(payload.get("record_swarm_trace")),
+        )
+    elif users > 1:
+        # Actors engine at swarm scale: the differential reference — one
+        # OpenLoopClient per user, each carrying 1/users of the offered rate,
+        # named exactly like the swarm's ports.
+        for i in range(users):
+            OpenLoopClient(
+                system.env,
+                f"fig7-client-{region}-{i}",
+                frontends_by_group=frontends,
+                request_factory=factory_for(i),
+                rate_per_second=payload["offered_rate"] / users,
+                site=region,
+                metric_prefix=f"fig7.{region}",
+            )
+    else:
+        # The original single-client deployment (legacy seed arithmetic —
+        # existing runs stay byte-identical).
+        rng = _random.Random(payload["seed"] + group)
+        workload = update_only_workload(
+            rng,
+            key_count=payload["key_count"],
+            value_bytes=payload["update_bytes"],
+            key_prefix=f"r{group}-key",
+        )
+        OpenLoopClient(
+            system.env,
+            f"fig7-client-{region}",
+            frontends_by_group=frontends,
+            request_factory=kv_request_factory(commands, workload),
+            rate_per_second=payload["offered_rate"],
+            site=region,
+            metric_prefix=f"fig7.{region}",
+        )
     _schedule_crashes(system, payload.get("crash_schedule"))
     harness = ShardedMeasurement(
         system,
@@ -685,6 +767,8 @@ def _build_fig7_shard(payload: Dict[str, Any]) -> ShardedMeasurement:
         throughput_metrics=[f"fig7.{region}.throughput"],
         latency_metrics=[f"fig7.{region}.latency"],
     )
+    if swarm is not None:
+        _attach_swarm_stats(harness, swarm, bool(payload.get("record_swarm_trace")))
     if payload.get("record_deliveries"):
         _attach_delivery_digest(harness, service.all_replicas())
     if payload.get("stream_segments"):
@@ -794,8 +878,29 @@ def run_fig7_sharded(
     segment_interval: float = DEFAULT_SEGMENT_INTERVAL,
     crash_schedule: Optional[Sequence[Tuple[float, str, float]]] = None,
     batching_enabled: bool = True,
+    client_engine: str = "actors",
+    users_per_region: Optional[int] = None,
+    arrival: Optional[ArrivalCurve] = None,
+    churn: Optional[ChurnSpec] = None,
+    stagger: bool = False,
+    record_swarm_trace: bool = False,
 ) -> ExperimentResult:
     """Figure 7 point with one shard per region, spread over ``workers`` cores.
+
+    ``client_engine`` selects the workload driver per region shard:
+    ``"actors"`` (default) keeps the original actor clients — the historical
+    single :class:`~repro.core.client.OpenLoopClient` when
+    ``users_per_region`` is unset, or ``users_per_region`` individual actors
+    named ``fig7-client-<region>-<i>`` each offering ``1/users`` of the
+    region rate.  ``"swarm"`` drives the same load from one
+    :class:`~repro.core.swarm.ClientSwarm` of ``users_per_region`` flyweight
+    clients whose port names match the individual actors', optionally
+    following an :class:`~repro.workloads.arrival.ArrivalCurve` (``arrival``;
+    e.g. a flash crowd) and a :class:`~repro.core.swarm.ChurnSpec`
+    (``churn``).  ``record_swarm_trace=True`` ships every shard swarm's
+    issued-command trace home under ``series['swarm_traces']`` (keyed by
+    shard id) — the flash-crowd determinism differential compares these
+    across runs and worker counts.
 
     ``configuration="shared"`` runs the figure's *original* shape — every
     region's partition ring plus the global ring all replicas subscribe to —
@@ -824,6 +929,12 @@ def run_fig7_sharded(
     shared = configuration == "shared"
     if crash_schedule and not shared:
         raise ValueError("crash_schedule requires configuration='shared'")
+    if client_engine not in ("actors", "swarm"):
+        raise ValueError(
+            f"client_engine must be 'actors' or 'swarm', not {client_engine!r}"
+        )
+    if client_engine == "swarm" and not users_per_region:
+        raise ValueError("client_engine='swarm' requires users_per_region")
     regions = list(EC2_REGIONS[:region_count])
     payload_base = {
         "key_count": key_count,
@@ -836,6 +947,12 @@ def run_fig7_sharded(
         "stream_segments": shared,
         "crash_schedule": [tuple(point) for point in crash_schedule or ()] or None,
         "batching": batching_enabled,
+        "client_engine": client_engine,
+        "users": users_per_region,
+        "arrival": arrival,
+        "churn": churn,
+        "stagger": stagger,
+        "record_swarm_trace": record_swarm_trace,
     }
     specs = [
         ShardSpec(
@@ -875,6 +992,8 @@ def run_fig7_sharded(
             "workers": run.workers,
             "configuration": configuration,
             "faulted": bool(crash_schedule),
+            "client_engine": client_engine,
+            "users_per_region": users_per_region,
         },
         rate_keys={
             group: [f"fig7.{region}.throughput.rate"]
@@ -882,6 +1001,20 @@ def run_fig7_sharded(
         },
         latency_key=(observed, f"fig7.{regions[observed]}.latency.mean_ms"),
     )
+    swarm_traces = {
+        shard_id: shard["swarm_trace"]
+        for shard_id, shard in run.results.items()
+        if isinstance(shard, dict) and "swarm_trace" in shard
+    }
+    if swarm_traces:
+        result.series["swarm_traces"] = swarm_traces
+    swarm_completed = sum(
+        shard.get("swarm_completed", 0)
+        for shard in run.results.values()
+        if isinstance(shard, dict)
+    )
+    if client_engine == "swarm":
+        result.metrics["swarm_completed"] = float(swarm_completed)
     if shared:
         stage.annotate(result, observed=f"kv{observed}-replica0")
         if record_deliveries:

@@ -74,13 +74,15 @@ def measure(
     throughput_metrics: Sequence[str] = (),
     latency_metrics: Sequence[str] = (),
     timeline_metrics: Sequence[str] = (),
+    slo_classes: Sequence[str] = (),
 ) -> Dict[str, Any]:
     """Run ``system`` through a warm-up and a measurement window.
 
     Returns a dictionary with, for every requested throughput metric, the
     average rate over the window (``<name>.rate``); for every latency metric
-    the mean/percentiles in milliseconds; and for every timeline metric the
-    per-second series relative to the start of the measurement window.
+    the mean/percentiles in milliseconds; for every timeline metric the
+    per-second series relative to the start of the measurement window; and
+    for every SLO class its percentile/violation accounting.
     """
     system.start()
     system.run(until=window.warmup)
@@ -89,7 +91,13 @@ def measure(
     system.run(until=window.end)
     end = system.env.now
     return collect_window_metrics(
-        system, start, end, throughput_metrics, latency_metrics, timeline_metrics
+        system,
+        start,
+        end,
+        throughput_metrics,
+        latency_metrics,
+        timeline_metrics,
+        slo_classes,
     )
 
 
@@ -100,6 +108,7 @@ def collect_window_metrics(
     throughput_metrics: Sequence[str] = (),
     latency_metrics: Sequence[str] = (),
     timeline_metrics: Sequence[str] = (),
+    slo_classes: Sequence[str] = (),
 ) -> Dict[str, Any]:
     """Gather the standard metric dictionary over an already-run window."""
     results: Dict[str, Any] = {"window": (start, end)}
@@ -120,6 +129,20 @@ def collect_window_metrics(
         results[f"{name}.timeline"] = [
             (t - start, rate) for t, rate in tracker.timeline(start, end)
         ]
+    # Per-class SLO accounting recorded by a client swarm (see
+    # repro.sim.metrics.SloTracker for the instrument names).
+    registry = system.env.metrics
+    for cls in slo_classes:
+        recorder = registry.latency(f"slo.{cls}.latency")
+        requests = registry.counter(f"slo.{cls}.requests").value
+        violations = registry.counter(f"slo.{cls}.violations").value
+        results[f"slo.{cls}.p50_ms"] = recorder.percentile(50) * 1e3
+        results[f"slo.{cls}.p99_ms"] = recorder.percentile(99) * 1e3
+        results[f"slo.{cls}.requests"] = requests
+        results[f"slo.{cls}.violations"] = violations
+        results[f"slo.{cls}.violation_fraction"] = (
+            violations / requests if requests else 0.0
+        )
     return results
 
 
@@ -162,12 +185,14 @@ class ShardedMeasurement(ShardHarness):
         window: MeasurementWindow,
         throughput_metrics: Sequence[str] = (),
         latency_metrics: Sequence[str] = (),
+        slo_classes: Sequence[str] = (),
     ) -> None:
         super().__init__(system.env)
         self.system = system
         self.window = window
         self.throughput_metrics = list(throughput_metrics)
         self.latency_metrics = list(latency_metrics)
+        self.slo_classes = list(slo_classes)
         self.results: Dict[str, Any] = {}
         self.extra: Dict[str, Any] = {}
         self.segments: Optional["RingSegmentBuffer"] = None
@@ -195,6 +220,7 @@ class ShardedMeasurement(ShardHarness):
                 self.window,
                 throughput_metrics=self.throughput_metrics,
                 latency_metrics=self.latency_metrics,
+                slo_classes=self.slo_classes,
             )
             return
         # Windowed streaming execution: advance incrementally, resetting the
@@ -215,6 +241,7 @@ class ShardedMeasurement(ShardHarness):
                 self.env.now,
                 throughput_metrics=self.throughput_metrics,
                 latency_metrics=self.latency_metrics,
+                slo_classes=self.slo_classes,
             )
 
     def drain_segments(self) -> Optional[Any]:

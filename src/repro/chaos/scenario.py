@@ -261,6 +261,38 @@ def _draw_batching(spec: Dict[str, Any], seed: int, probability: float = 0.35) -
         spec["batch_max_delay"] = round(batch_rng.uniform(0.0002, 0.002), 6)
 
 
+def _draw_swarm(spec: Dict[str, Any], seed: int, probability: float = 0.35) -> None:
+    """Flash-crowd scenario family: draw a client-swarm layer into ``spec``.
+
+    Drawn from its own seed-derived stream (like the batching and
+    fault-family streams) so every pre-existing draw stays byte-for-byte
+    identical — old seeds reproduce exactly; flash-crowd variants only *add*
+    keys.  A swarm scenario runs the usual RYW clients and fault timeline
+    with a :class:`~repro.core.swarm.ClientSwarm` of flyweight open-loop
+    clients layered on top: offered load follows a flash-crowd arrival curve
+    (a burst ramping to several times the base rate mid-run) while
+    connection churn takes clients away and back.  The invariant oracles
+    (read-your-writes, store convergence) must hold under the crowd.
+    """
+    swarm_rng = random.Random(seed ^ 0xF1A5C)
+    if swarm_rng.random() >= probability:
+        return
+    horizon = spec["horizon"]
+    flash_at = round(horizon * swarm_rng.uniform(0.25, 0.5), 3)
+    spec["swarm"] = {
+        "users": swarm_rng.choice([50, 200, 1000]),
+        "key_count": swarm_rng.randint(50, 200),
+        "base_rate": round(swarm_rng.uniform(80.0, 200.0), 1),
+        "peak_factor": round(swarm_rng.uniform(3.0, 8.0), 2),
+        "flash_at": flash_at,
+        "ramp": round(horizon * 0.1, 3),
+        "hold": round(horizon * swarm_rng.uniform(0.1, 0.25), 3),
+        "decay": round(horizon * 0.1, 3),
+        "churn_rate": round(swarm_rng.uniform(2.0, 10.0), 2),
+        "downtime": round(swarm_rng.uniform(0.05, 0.3), 3),
+    }
+
+
 def _generate_kvstore_spec(rng: random.Random, seed: int) -> Dict[str, Any]:
     partitions = rng.choice([1, 1, 2])
     replicas = rng.randint(2, 3)
@@ -286,6 +318,7 @@ def _generate_kvstore_spec(rng: random.Random, seed: int) -> Dict[str, Any]:
         "schedule": schedule.to_dicts(),
     }
     _draw_batching(spec, seed)
+    _draw_swarm(spec, seed)
     return spec
 
 
@@ -1124,6 +1157,48 @@ def _run_kvstore(spec: Dict[str, Any]) -> Tuple[List[Violation], Dict[str, Any],
         for entry in spec["clients"]
     ]
 
+    swarm = None
+    swarm_spec = spec.get("swarm")
+    if swarm_spec:
+        from ..core.swarm import ChurnSpec, ClientSwarm, shared_factory
+        from ..kvstore.client import MRPStoreCommands, kv_request_factory
+        from ..workloads.arrival import flash_crowd
+        from ..workloads.kv import preload_keys, update_only_workload
+
+        # The crowd writes its own prefixed keyspace so it can never collide
+        # with the RYW clients' private keys (their oracle stays sound).
+        service.preload(
+            preload_keys(swarm_spec["key_count"], value_bytes=256, key_prefix="swarm-key")
+        )
+        workload = update_only_workload(
+            random.Random(spec["seed"] ^ 0x5A3F),
+            key_count=swarm_spec["key_count"],
+            value_bytes=256,
+            key_prefix="swarm-key",
+        )
+        swarm = ClientSwarm(
+            system.env,
+            "chaos-swarm",
+            frontends_by_group=frontends,
+            request_factory=shared_factory(
+                kv_request_factory(MRPStoreCommands(service.partitioner), workload)
+            ),
+            clients=swarm_spec["users"],
+            mode="open",
+            arrival=flash_crowd(
+                base=swarm_spec["base_rate"],
+                peak=swarm_spec["base_rate"] * swarm_spec["peak_factor"],
+                at=swarm_spec["flash_at"],
+                ramp=swarm_spec["ramp"],
+                hold=swarm_spec["hold"],
+                decay=swarm_spec["decay"],
+            ),
+            churn=ChurnSpec(
+                rate=swarm_spec["churn_rate"], downtime=swarm_spec["downtime"]
+            ),
+            metric_prefix="chaos.swarm",
+        )
+
     schedule = FaultSchedule.from_dicts(spec["schedule"])
     schedule.apply(system)
     system.start()
@@ -1147,6 +1222,16 @@ def _run_kvstore(spec: Dict[str, Any]) -> Tuple[List[Violation], Dict[str, Any],
         "faults": len(schedule.executed),
         "deliveries": recorder.delivery_counts(),
     }
+    if swarm is not None:
+        metrics = system.env.metrics
+        stats["swarm"] = {
+            "users": swarm.clients,
+            "issued": swarm.issued,
+            "completed": swarm.completed,
+            "online": swarm.online,
+            "disconnects": int(metrics.counter("chaos.swarm.churn.disconnects").value),
+            "reconnects": int(metrics.counter("chaos.swarm.churn.reconnects").value),
+        }
     return violations, stats, recorder
 
 

@@ -5,6 +5,7 @@ from .client import ClosedLoopClient, Command, CommandBatch, CommandBatcher, Ope
 from .config import MultiRingConfig, global_config, local_config
 from .packing import PackedValues, iter_commands, iter_payloads, iter_values
 from .smr import ProposerFrontend, ReactiveReplicaHost, StateMachineReplica
+from .swarm import ChurnSpec, ClientSwarm, shared_factory
 
 __all__ = [
     "AtomicMulticast",
@@ -24,4 +25,7 @@ __all__ = [
     "ProposerFrontend",
     "ReactiveReplicaHost",
     "StateMachineReplica",
+    "ChurnSpec",
+    "ClientSwarm",
+    "shared_factory",
 ]

@@ -1,0 +1,522 @@
+"""Flyweight client swarms: one actor simulating up to a million clients.
+
+The paper's evaluation drives the services with tens of client *actors*; the
+north star ("heavy traffic from millions of users") needs orders of magnitude
+more clients than the actor machinery can afford — a million
+:class:`~repro.core.client.ClosedLoopClient` instances would mean a million
+Python objects, timers and metric recorders.  :class:`ClientSwarm` simulates
+``n`` open- or closed-loop clients inside ONE actor:
+
+* per-client state lives in flat arrays (issued/completed counts, online
+  flags) plus one dict of in-flight logical requests;
+* open-loop pacing runs on a shared event-time wheel — a heap of
+  ``(next_fire_time, client_index)`` pairs drained by a single kernel timer,
+  so ``n`` clients cost one outstanding simulator event, not ``n``;
+* the offered load follows an :class:`~repro.workloads.arrival.ArrivalCurve`
+  (constant, diurnal ramp, flash crowd);
+* connection churn (clients going away and coming back) and per-class SLO
+  accounting (:class:`~repro.sim.metrics.SloTracker`) are built in.
+
+Differential correctness
+------------------------
+The swarm is proven behaviorally identical to the actors it replaces
+(``tests/core/test_swarm_differential.py``): with *port* addressing it emits
+a command stream bit-identical — same seeds, same ``created_at``s, same
+delivery order through a real service — to ``n`` individual client actors.
+
+Port addressing registers one flyweight :class:`_SwarmPort` per client: a
+``__slots__`` stand-in carrying only a name and a site, so each simulated
+client keeps its own network identity (its own FIFO connections, its own
+response routing) while every behavior lives in the swarm.  This is what
+makes bit-identity possible: the network's jitter stream is drawn in global
+send order, and channel/connection state is keyed by endpoint *names*, so
+issuing client ``i``'s request under the name an individual actor would have
+used reproduces the exact event timeline.
+
+Above ``PORT_ADDRESSING_LIMIT`` clients (or with ``addressing="shared"``)
+the swarm switches to a single shared endpoint: commands carry the swarm's
+own name and a globally unique command id (``seq * n + index``) so responses
+demultiplex without per-client connections — the memory-scaling mode for
+10⁵–10⁶ users.
+"""
+
+from __future__ import annotations
+
+import heapq
+from array import array
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..net.message import ClientRequest, ClientResponse
+from ..sim.actor import Actor, Environment
+from ..sim.metrics import SloTracker
+from ..workloads.arrival import ArrivalCurve, constant
+from .client import RequestFactory
+
+__all__ = [
+    "ChurnSpec",
+    "ClientSwarm",
+    "SwarmRequestFactory",
+    "shared_factory",
+    "PORT_ADDRESSING_LIMIT",
+    "DEFAULT_SKETCH_THRESHOLD",
+]
+
+#: ``addressing="auto"`` uses per-client ports up to this many clients and
+#: the shared endpoint beyond it (per-client connections are O(clients) in
+#: the network's connection cache).
+PORT_ADDRESSING_LIMIT = 4096
+
+#: ``sketch="auto"`` enables the latency sketch at this sample threshold for
+#: swarms of at least :data:`SKETCH_AUTO_CLIENTS` clients.
+DEFAULT_SKETCH_THRESHOLD = 65536
+SKETCH_AUTO_CLIENTS = 10_000
+
+#: Builds the next logical request of one flyweight client: receives the
+#: client index and the client's request sequence number, returns the same
+#: ``(commands, await_groups)`` pair as :data:`~repro.core.client.RequestFactory`.
+SwarmRequestFactory = Callable[[int, int], Tuple[Sequence[Any], Sequence[int]]]
+
+
+def shared_factory(factory: RequestFactory) -> SwarmRequestFactory:
+    """Adapt a per-client :data:`RequestFactory` to the swarm signature.
+
+    Every flyweight client draws from the same underlying factory (e.g. one
+    shared YCSB workload generator), in issue order — the exact setup of the
+    fig runners, where all client threads share one workload stream.
+    """
+
+    def build(index: int, sequence: int):
+        return factory(sequence)
+
+    return build
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Connection churn: clients disconnect and reconnect over time.
+
+    ``rate`` is the aggregate disconnect rate (events/second, exponential
+    interarrival); a disconnected client stays away for ``downtime`` seconds
+    (scaled by a uniform factor in ``[1-jitter, 1+jitter]``) and then
+    reconnects — closed-loop clients re-issue their window, open-loop clients
+    rejoin the wheel.  Draws come from the swarm's own ``churn`` stream, so
+    enabling churn never perturbs any other seeded stream.
+    """
+
+    rate: float
+    downtime: float = 0.5
+    jitter: float = 0.5
+
+
+class _SwarmPort:
+    """Flyweight network identity of one simulated client.
+
+    Registered in the environment like an actor, but carries no behavior:
+    responses delivered to the port are forwarded to the owning swarm with
+    the client index attached.
+    """
+
+    __slots__ = ("name", "site", "alive", "_swarm", "_index")
+
+    def __init__(self, name: str, site: str, swarm: "ClientSwarm", index: int) -> None:
+        self.name = name
+        self.site = site
+        self.alive = True
+        self._swarm = swarm
+        self._index = index
+
+    def on_start(self) -> None:  # the swarm issues on behalf of its ports
+        pass
+
+    def on_message(self, sender: str, message: Any) -> None:
+        self._swarm._on_port_message(self._index, sender, message)
+
+    def deliver(self, sender: str, message: Any) -> None:
+        if self.alive:
+            self.on_message(sender, message)
+
+
+class ClientSwarm(Actor):
+    """One actor simulating ``clients`` open- or closed-loop clients.
+
+    Parameters
+    ----------
+    env, name, site:
+        Standard actor arguments.
+    frontends_by_group:
+        Maps each multicast group to the process requests of that group are
+        submitted to (same as the individual clients).
+    request_factory:
+        A :data:`SwarmRequestFactory` — ``(client_index, sequence) ->
+        (commands, await_groups)``.  Use :func:`shared_factory` to adapt a
+        plain per-client factory.
+    clients:
+        Number of simulated clients (1 to ~10⁶).
+    mode:
+        ``"closed"`` — every client keeps ``concurrency`` logical requests
+        outstanding; ``"open"`` — clients issue on the shared event-time
+        wheel following ``arrival``.
+    concurrency:
+        Outstanding requests per closed-loop client.
+    arrival:
+        The aggregate offered-load curve for open mode (default: constant
+        100 req/s across the whole swarm).  Each client contributes
+        ``rate_at(t) / clients``.
+    stagger:
+        Open mode: spread first arrivals one aggregate interarrival apart
+        (smooth offered load).  ``False`` replicates individual
+        ``OpenLoopClient`` actors, whose first requests all fire one
+        per-client interval after start — required for the differential.
+    addressing:
+        ``"ports"``, ``"shared"`` or ``"auto"`` (ports up to
+        :data:`PORT_ADDRESSING_LIMIT` clients).
+    port_names:
+        Optional explicit per-client port names (ports mode); defaults to
+        ``"{name}.{index}"``.  The differential suite passes the names the
+        individual actors would have used.
+    churn:
+        Optional :class:`ChurnSpec`.
+    slo:
+        Optional per-class latency objectives in seconds
+        (``{"gold": 0.050, ...}``) — enables ``slo.<class>.*`` accounting.
+    client_class:
+        Maps a client index to its SLO class; defaults to round-robin over
+        the sorted SLO classes.
+    sketch:
+        Latency-recorder sketch threshold: an int, ``None`` (always exact)
+        or ``"auto"`` (sketch at :data:`DEFAULT_SKETCH_THRESHOLD` samples
+        once the swarm has at least :data:`SKETCH_AUTO_CLIENTS` clients).
+    record_trace:
+        Keep an in-memory trace of every issued command —
+        ``(index, sequence, op, args, group_id, created_at)`` tuples — for
+        determinism tests.
+    max_requests_per_client:
+        Optional per-client cap on issued logical requests.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        frontends_by_group: Dict[int, str],
+        request_factory: SwarmRequestFactory,
+        clients: int,
+        mode: str = "closed",
+        concurrency: int = 1,
+        arrival: Optional[ArrivalCurve] = None,
+        stagger: bool = True,
+        site: str = "dc1",
+        metric_prefix: str = "client",
+        addressing: str = "auto",
+        port_names: Optional[Sequence[str]] = None,
+        churn: Optional[ChurnSpec] = None,
+        slo: Optional[Dict[str, float]] = None,
+        client_class: Optional[Callable[[int], str]] = None,
+        sketch: Any = "auto",
+        record_trace: bool = False,
+        max_requests_per_client: Optional[int] = None,
+    ) -> None:
+        super().__init__(env, name, site)
+        if clients < 1:
+            raise ValueError("clients must be at least 1")
+        if mode not in ("closed", "open"):
+            raise ValueError(f"unknown swarm mode: {mode!r}")
+        if concurrency < 1:
+            raise ValueError("concurrency must be at least 1")
+        self._frontends = dict(frontends_by_group)
+        self._factory = request_factory
+        self._n = clients
+        self._mode = mode
+        self._concurrency = concurrency
+        self._arrival = arrival or constant(100.0)
+        self._stagger = stagger
+        self._metric_prefix = metric_prefix
+        self._max_requests = max_requests_per_client
+        self._churn = churn
+        self._record_trace = record_trace
+
+        if addressing == "auto":
+            addressing = "ports" if clients <= PORT_ADDRESSING_LIMIT else "shared"
+        if addressing not in ("ports", "shared"):
+            raise ValueError(f"unknown addressing mode: {addressing!r}")
+        self._addressing = addressing
+
+        if sketch == "auto":
+            sketch = DEFAULT_SKETCH_THRESHOLD if clients >= SKETCH_AUTO_CLIENTS else None
+        self._sketch = sketch
+
+        # ------------------------------------------------- per-client state
+        self._issued = array("q", bytes(8 * clients))
+        self._completed = array("q", bytes(8 * clients))
+        self._online = bytearray([1]) * clients
+        #: in-flight logical requests keyed by ``sequence * n + index``
+        self._outstanding: Dict[int, Tuple[set, float, str]] = {}
+        #: open mode: shared event-time wheel of (next_fire, client_index)
+        self._wheel: List[Tuple[float, int]] = []
+        self._armed_for: Optional[float] = None
+        self._trace: List[Tuple[int, int, str, Tuple, int, float]] = []
+
+        # -------------------------------------------------------- addressing
+        self._ports: List[_SwarmPort] = []
+        if addressing == "ports":
+            if port_names is not None and len(port_names) != clients:
+                raise ValueError("port_names must name every client")
+            names = list(port_names) if port_names is not None else [
+                f"{name}.{i}" for i in range(clients)
+            ]
+            for i, port_name in enumerate(names):
+                port = _SwarmPort(port_name, site, self, i)
+                env.register(port)  # type: ignore[arg-type]
+                self._ports.append(port)
+
+        # ----------------------------------------------------------- metrics
+        self._latency = env.metrics.latency(f"{metric_prefix}.latency", sketch=self._sketch)
+        self._throughput = env.metrics.throughput(f"{metric_prefix}.throughput")
+        self._slo: Optional[SloTracker] = None
+        self._class_of: Optional[Callable[[int], str]] = None
+        if slo:
+            self._slo = SloTracker(env.metrics, slo, sketch=self._sketch)
+            if client_class is None:
+                classes = sorted(slo)
+                client_class = lambda i: classes[i % len(classes)]  # noqa: E731
+            self._class_of = client_class
+        self._churn_counters = (
+            env.metrics.counter(f"{metric_prefix}.churn.disconnects"),
+            env.metrics.counter(f"{metric_prefix}.churn.reconnects"),
+        )
+        #: lazily bound network send (the network usually attaches after
+        #: actor construction, mirroring Actor.send's caching)
+        self._raw_send: Optional[Callable[[str, str, Any], None]] = None
+
+    # ------------------------------------------------------------------ start
+    def on_start(self) -> None:
+        if self._mode == "closed":
+            for index in range(self._n):
+                for _ in range(self._concurrency):
+                    self._issue(index)
+        else:
+            now = self.now
+            # Computed as 1 / per-client-rate — the exact expression an
+            # individual OpenLoopClient uses for its interval, so the fire
+            # times agree bit-for-bit in the differential.
+            interval = 1.0 / (self._arrival.rate_at(now) / self._n)
+            if self._stagger:
+                step = interval / self._n
+                self._wheel = [(now + (i + 1) * step, i) for i in range(self._n)]
+            else:
+                # Every client's first request one per-client interval after
+                # start — exactly when n individual OpenLoopClients would
+                # first fire their periodic timers.
+                self._wheel = [(now + interval, i) for i in range(self._n)]
+            heapq.heapify(self._wheel)
+            self._arm_wheel()
+        if self._churn is not None:
+            self._schedule_churn()
+
+    # ------------------------------------------------------------- issue side
+    def _issue(self, index: int) -> None:
+        if not self.alive:
+            return
+        sequence = self._issued[index]
+        if self._max_requests is not None and sequence >= self._max_requests:
+            return
+        self._issued[index] = sequence + 1
+        commands, await_groups = self._factory(index, sequence)
+        key = sequence * self._n + index
+        op_label = "-".join(sorted({c.op for c in commands})) or "noop"
+        now = self.now
+        self._outstanding[key] = (set(await_groups), now, op_label)
+        if self._addressing == "ports":
+            src = self._ports[index].name
+            request_key = sequence  # the id an individual actor would use
+        else:
+            src = self.name
+            request_key = key
+        send = self._raw_send
+        if send is None:
+            network = self.env.network
+            if network is None:
+                raise RuntimeError("environment has no network attached")
+            send = self._raw_send = network.send
+        for command in commands:
+            command.client = src
+            command.created_at = now
+            command.command_id = request_key
+            send(
+                src,
+                self._frontends[command.group_id],
+                ClientRequest(
+                    payload_bytes=command.size_bytes,
+                    client=src,
+                    command=command,
+                    created_at=now,
+                ),
+            )
+            if self._record_trace:
+                self._trace.append(
+                    (index, sequence, command.op, tuple(command.args), command.group_id, now)
+                )
+
+    # -------------------------------------------------------- event-time wheel
+    def _arm_wheel(self) -> None:
+        if not self._wheel:
+            self._armed_for = None
+            return
+        head = self._wheel[0][0]
+        if self._armed_for is not None and self._armed_for <= head:
+            return  # an armed timer already covers the head
+        self._armed_for = head
+        # Push at the *absolute* head time (plain _post entry layout) rather
+        # than call_later(head - now): now + (head - now) can land an ulp off
+        # head, which would break bit-identity with individual client timers.
+        sim = self.env.simulator
+        if head < sim._now:
+            raise RuntimeError(f"wheel head {head} is in the past (now={sim._now})")
+        seq = sim._seq
+        sim._seq = seq + 1
+        heapq.heappush(sim._queue, (head, 0, seq, self._wheel_tick, ()))
+
+    def _wheel_tick(self) -> None:
+        if not self.alive:
+            return
+        self._armed_for = None
+        now = self.now
+        wheel = self._wheel
+        interval = None
+        while wheel and wheel[0][0] <= now:
+            _, index = heapq.heappop(wheel)
+            if not self._online[index]:
+                continue  # reconnection re-enters the wheel
+            if self._max_requests is not None and self._issued[index] >= self._max_requests:
+                continue  # done: drop out of the wheel
+            self._issue(index)
+            if interval is None:
+                interval = 1.0 / (self._arrival.rate_at(now) / self._n)
+            heapq.heappush(wheel, (now + interval, index))
+        self._arm_wheel()
+
+    # ------------------------------------------------------------------ churn
+    def _schedule_churn(self) -> None:
+        assert self._churn is not None
+        rng = self.rng("churn")
+        delay = rng.expovariate(self._churn.rate)
+        self.set_timer(delay, self._churn_tick)
+
+    def _churn_tick(self) -> None:
+        assert self._churn is not None
+        rng = self.rng("churn")
+        victim = rng.randrange(self._n)
+        if self._online[victim]:
+            self._online[victim] = 0
+            self._churn_counters[0].increment()
+            # The connection is gone: in-flight requests of this client are
+            # forgotten, so late responses are ignored (like responses to a
+            # crashed client actor).
+            stale = [k for k in self._outstanding if k % self._n == victim]
+            for k in stale:
+                del self._outstanding[k]
+            spec = self._churn
+            factor = 1.0 + spec.jitter * (2.0 * rng.random() - 1.0)
+            self.set_timer(max(1e-6, spec.downtime * factor), lambda: self._reconnect(victim))
+        self._schedule_churn()
+
+    def _reconnect(self, index: int) -> None:
+        if self._online[index]:
+            return
+        self._online[index] = 1
+        self._churn_counters[1].increment()
+        if self._mode == "closed":
+            for _ in range(self._concurrency):
+                self._issue(index)
+        else:
+            interval = 1.0 / (self._arrival.rate_at(self.now) / self._n)
+            heapq.heappush(self._wheel, (self.now + interval, index))
+            self._arm_wheel()
+
+    # ---------------------------------------------------------- response side
+    def _on_port_message(self, index: int, sender: str, message: Any) -> None:
+        if not isinstance(message, ClientResponse):
+            return
+        self._complete(index, message.request_id * self._n + index, message)
+
+    def on_message(self, sender: str, message: Any) -> None:
+        if not isinstance(message, ClientResponse):
+            return
+        key = message.request_id
+        self._complete(key % self._n, key, message)
+
+    def _complete(self, index: int, key: int, message: ClientResponse) -> None:
+        entry = self._outstanding.get(key)
+        if entry is None:
+            return  # duplicate, or the client churned away meanwhile
+        pending, submitted_at, op_label = entry
+        group_id = message.result.get("group_id") if isinstance(message.result, dict) else None
+        if group_id is not None:
+            pending.discard(group_id)
+        else:
+            pending.clear()
+        if pending:
+            return
+        del self._outstanding[key]
+        self._completed[index] += 1
+        elapsed = self.now - submitted_at
+        self._latency.record(elapsed)
+        if self._mode == "closed":
+            self.env.metrics.latency(
+                f"{self._metric_prefix}.latency.{op_label}", sketch=self._sketch
+            ).record(elapsed)
+        self._throughput.record(1.0)
+        if self._slo is not None and self._class_of is not None:
+            self._slo.record(self._class_of(index), elapsed)
+        if self._mode == "closed" and self._online[index]:
+            self._issue(index)
+
+    # -------------------------------------------------------------- inspection
+    @property
+    def clients(self) -> int:
+        """Number of simulated clients."""
+        return self._n
+
+    @property
+    def issued(self) -> int:
+        """Logical requests issued across all clients."""
+        return sum(self._issued)
+
+    @property
+    def completed(self) -> int:
+        """Logical requests completed across all clients."""
+        return sum(self._completed)
+
+    @property
+    def outstanding(self) -> int:
+        """Logical requests currently in flight."""
+        return len(self._outstanding)
+
+    @property
+    def online(self) -> int:
+        """Clients currently connected."""
+        return sum(self._online)
+
+    @property
+    def addressing(self) -> str:
+        """The addressing mode in effect (``"ports"`` or ``"shared"``)."""
+        return self._addressing
+
+    @property
+    def slo_tracker(self) -> Optional[SloTracker]:
+        """The per-class SLO tracker, when SLO targets were configured."""
+        return self._slo
+
+    @property
+    def command_trace(self) -> List[Tuple[int, int, str, Tuple, int, float]]:
+        """Issued-command trace (requires ``record_trace=True``)."""
+        return list(self._trace)
+
+    def per_client_issued(self, index: int) -> int:
+        """Requests issued by one flyweight client."""
+        return self._issued[index]
+
+    def per_client_completed(self, index: int) -> int:
+        """Requests completed by one flyweight client."""
+        return self._completed[index]

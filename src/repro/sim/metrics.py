@@ -10,6 +10,18 @@ types:
   measurement window or per fixed-size time bucket (Figure 8's timeline).
 * :class:`MetricRegistry` — a namespace of the above keyed by string, owned
   by the :class:`~repro.sim.actor.Environment`.
+
+Large workloads (the client swarm simulating up to 10⁶ users) would make a
+raw sample list the memory ceiling, so :class:`LatencyRecorder` supports a
+streaming *sketch* mode: pass ``sketch=N`` and the recorder keeps exact raw
+samples until ``N`` of them have been seen, then folds everything into a
+log-spaced fixed-bucket histogram (growth factor ≈ 1.02, i.e. ≤ 1 % relative
+quantile error) and records into buckets from then on.  Below the threshold
+behavior is bit-identical to the exact recorder.
+
+:class:`SloTracker` layers per-class service-level accounting on top:
+``slo.<class>.latency`` recorders plus ``slo.<class>.requests`` /
+``slo.<class>.violations`` counters for each traffic class.
 """
 
 from __future__ import annotations
@@ -22,10 +34,19 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 __all__ = [
     "Counter",
     "LatencyRecorder",
+    "SloTracker",
     "ThroughputTracker",
     "MetricRegistry",
     "summarize_latencies",
 ]
+
+# Geometric bucket growth for the sketch mode.  Quantiles are reported at
+# the geometric midpoint of their bucket, so the worst-case relative error
+# is sqrt(GROWTH) - 1 ≈ 0.995 % < 1 %.
+_SKETCH_GROWTH = 1.02
+_LOG_GROWTH = math.log(_SKETCH_GROWTH)
+# Samples below this magnitude (one nanosecond) share the underflow bucket.
+_SKETCH_FLOOR = 1e-9
 
 
 class Counter:
@@ -52,70 +73,254 @@ class Counter:
 
 
 class LatencyRecorder:
-    """Collects latency samples in seconds and summarises them."""
+    """Collects latency samples in seconds and summarises them.
 
-    def __init__(self, name: str) -> None:
+    ``sketch`` is a sample-count threshold: ``None`` (default) keeps raw
+    samples forever; an integer ``N`` switches the recorder to a log-spaced
+    bucket histogram once more than ``N`` samples have been recorded.  Exact
+    and sketched recorders answer the same queries; sketched quantiles carry
+    ≤ 1 % relative error while min/max/mean/count stay exact.
+    """
+
+    def __init__(self, name: str, sketch: Optional[int] = None) -> None:
         self.name = name
         self._samples: List[float] = []
+        self._sketch_threshold = sketch
+        self._buckets: Optional[Dict[int, int]] = None
+        self._count = 0
+        self._total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
 
+    # ------------------------------------------------------------- recording
     def record(self, latency_seconds: float) -> None:
         """Record one sample."""
         if latency_seconds < 0:
             raise ValueError("latency cannot be negative")
+        self._count += 1
+        self._total += latency_seconds
+        if latency_seconds < self._min:
+            self._min = latency_seconds
+        if latency_seconds > self._max:
+            self._max = latency_seconds
+        if self._buckets is not None:
+            self._buckets[self._bucket_index(latency_seconds)] += 1
+            return
         self._samples.append(latency_seconds)
+        if (
+            self._sketch_threshold is not None
+            and len(self._samples) > self._sketch_threshold
+        ):
+            self._fold_into_sketch()
 
+    @staticmethod
+    def _bucket_index(value: float) -> int:
+        if value < _SKETCH_FLOOR:
+            return -(10**9)  # shared underflow bucket
+        return int(math.floor(math.log(value) / _LOG_GROWTH))
+
+    @staticmethod
+    def _bucket_value(index: int) -> float:
+        if index == -(10**9):
+            return 0.0
+        # Geometric midpoint of [g^i, g^(i+1)).
+        return _SKETCH_GROWTH ** (index + 0.5)
+
+    def _fold_into_sketch(self) -> None:
+        buckets: Dict[int, int] = defaultdict(int)
+        for s in self._samples:
+            buckets[self._bucket_index(s)] += 1
+        self._buckets = buckets
+        self._samples = []
+
+    def set_sketch(self, threshold: Optional[int]) -> None:
+        """Adjust the sketch threshold; folds immediately if already past it."""
+        self._sketch_threshold = threshold
+        if (
+            threshold is not None
+            and self._buckets is None
+            and len(self._samples) > threshold
+        ):
+            self._fold_into_sketch()
+
+    @property
+    def sketching(self) -> bool:
+        """Whether the recorder has switched to the bucket histogram."""
+        return self._buckets is not None
+
+    @property
+    def sketch_threshold(self) -> Optional[int]:
+        """The configured sample-count threshold (``None`` = always exact)."""
+        return self._sketch_threshold
+
+    # --------------------------------------------------------------- queries
     @property
     def count(self) -> int:
         """Number of samples recorded."""
-        return len(self._samples)
+        return self._count
 
     @property
     def samples(self) -> List[float]:
-        """A copy of the raw samples (seconds)."""
-        return list(self._samples)
+        """A copy of the raw samples (seconds).
+
+        In sketch mode the raw values are gone; this returns the bucket
+        representatives, repeated per count — same length, ≤ 1 % off each.
+        """
+        if self._buckets is None:
+            return list(self._samples)
+        out: List[float] = []
+        for idx in sorted(self._buckets):
+            out.extend([self._clamped(self._bucket_value(idx))] * self._buckets[idx])
+        return out
+
+    def _clamped(self, value: float) -> float:
+        return min(self._max, max(self._min, value))
 
     def mean(self) -> float:
-        """Mean latency in seconds (0.0 when empty)."""
-        if not self._samples:
+        """Mean latency in seconds (0.0 when empty) — exact in both modes."""
+        if self._count == 0:
             return 0.0
-        return sum(self._samples) / len(self._samples)
+        return self._total / self._count
 
     def percentile(self, pct: float) -> float:
         """Latency at percentile ``pct`` (0-100), nearest-rank method."""
-        if not self._samples:
+        if self._count == 0:
             return 0.0
         if not 0 <= pct <= 100:
             raise ValueError("percentile must be within [0, 100]")
-        ordered = sorted(self._samples)
-        rank = max(0, min(len(ordered) - 1, math.ceil(pct / 100.0 * len(ordered)) - 1))
-        return ordered[rank]
+        rank = max(0, min(self._count - 1, math.ceil(pct / 100.0 * self._count) - 1))
+        if self._buckets is None:
+            return sorted(self._samples)[rank]
+        if pct == 0:
+            return self._min
+        if pct == 100:
+            return self._max
+        seen = 0
+        for idx in sorted(self._buckets):
+            seen += self._buckets[idx]
+            if seen > rank:
+                return self._clamped(self._bucket_value(idx))
+        return self._max
 
     def cdf(self, points: int = 100) -> List[Tuple[float, float]]:
         """Return ``points`` (latency, cumulative fraction) pairs for plotting."""
-        if not self._samples:
+        if self._count == 0:
             return []
-        ordered = sorted(self._samples)
-        n = len(ordered)
+        n = self._count
+        if self._buckets is None:
+            ordered = sorted(self._samples)
+            result = []
+            for i in range(1, points + 1):
+                idx = max(0, min(n - 1, round(i / points * n) - 1))
+                result.append((ordered[idx], (idx + 1) / n))
+            return result
+        # Sketch mode: walk the cumulative histogram once, answering the same
+        # nearest-rank positions the exact path uses.
+        edges: List[Tuple[int, int]] = []  # (cumulative count, bucket index)
+        seen = 0
+        for idx in sorted(self._buckets):
+            seen += self._buckets[idx]
+            edges.append((seen, idx))
         result = []
         for i in range(1, points + 1):
-            idx = max(0, min(n - 1, round(i / points * n) - 1))
-            result.append((ordered[idx], (idx + 1) / n))
+            rank = max(0, min(n - 1, round(i / points * n) - 1))
+            pos = bisect.bisect_right([c for c, _ in edges], rank)
+            pos = min(pos, len(edges) - 1)
+            result.append(
+                (self._clamped(self._bucket_value(edges[pos][1])), (rank + 1) / n)
+            )
         return result
 
     def fraction_below(self, threshold_seconds: float) -> float:
         """Fraction of samples strictly below ``threshold_seconds``."""
-        if not self._samples:
+        if self._count == 0:
             return 0.0
-        ordered = sorted(self._samples)
-        return bisect.bisect_left(ordered, threshold_seconds) / len(ordered)
+        if self._buckets is None:
+            ordered = sorted(self._samples)
+            return bisect.bisect_left(ordered, threshold_seconds) / len(ordered)
+        below = sum(
+            c
+            for idx, c in self._buckets.items()
+            if self._clamped(self._bucket_value(idx)) < threshold_seconds
+        )
+        return below / self._count
 
     def mean_ms(self) -> float:
         """Mean latency in milliseconds."""
         return self.mean() * 1_000.0
 
     def reset(self) -> None:
-        """Drop every recorded sample."""
+        """Drop every recorded sample (the sketch threshold is kept)."""
         self._samples.clear()
+        self._buckets = None
+        self._count = 0
+        self._total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+
+class SloTracker:
+    """Per-class service-level-objective accounting.
+
+    ``targets`` maps a traffic class (``"gold"``, ``"default"``, …) to its
+    latency objective in seconds.  Every :meth:`record` call feeds the
+    class's ``slo.<class>.latency`` recorder and bumps
+    ``slo.<class>.requests``; samples over the objective additionally bump
+    ``slo.<class>.violations``.  Classes without a target are tracked with no
+    violation accounting.
+    """
+
+    def __init__(
+        self,
+        registry: "MetricRegistry",
+        targets: Dict[str, float],
+        prefix: str = "slo",
+        sketch: Optional[int] = None,
+    ) -> None:
+        self._registry = registry
+        self._targets = dict(targets)
+        self._prefix = prefix
+        self._sketch = sketch
+        for cls in self._targets:
+            self._ensure(cls)
+
+    def _ensure(self, cls: str) -> "LatencyRecorder":
+        recorder = self._registry.latency(
+            f"{self._prefix}.{cls}.latency", sketch=self._sketch
+        )
+        self._registry.counter(f"{self._prefix}.{cls}.requests")
+        self._registry.counter(f"{self._prefix}.{cls}.violations")
+        return recorder
+
+    @property
+    def targets(self) -> Dict[str, float]:
+        """The configured per-class objectives (seconds)."""
+        return dict(self._targets)
+
+    def record(self, cls: str, latency_seconds: float) -> None:
+        """Record one completed request of class ``cls``."""
+        self._ensure(cls).record(latency_seconds)
+        self._registry.counter(f"{self._prefix}.{cls}.requests").increment()
+        target = self._targets.get(cls)
+        if target is not None and latency_seconds > target:
+            self._registry.counter(f"{self._prefix}.{cls}.violations").increment()
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-class summary: count, p50/p99 (ms), violations and rate."""
+        out: Dict[str, Dict[str, float]] = {}
+        for cls in sorted(self._targets):
+            recorder = self._registry.latency(f"{self._prefix}.{cls}.latency")
+            requests = self._registry.counter(f"{self._prefix}.{cls}.requests").value
+            violations = self._registry.counter(f"{self._prefix}.{cls}.violations").value
+            out[cls] = {
+                "target_ms": self._targets[cls] * 1e3,
+                "requests": requests,
+                "violations": violations,
+                "violation_fraction": (violations / requests) if requests else 0.0,
+                "p50_ms": recorder.percentile(50) * 1e3,
+                "p99_ms": recorder.percentile(99) * 1e3,
+            }
+        return out
 
 
 class ThroughputTracker:
@@ -190,10 +395,16 @@ class MetricRegistry:
             self._counters[name] = Counter(name)
         return self._counters[name]
 
-    def latency(self, name: str) -> LatencyRecorder:
-        """Get or create the latency recorder ``name``."""
+    def latency(self, name: str, sketch: Optional[int] = None) -> LatencyRecorder:
+        """Get or create the latency recorder ``name``.
+
+        ``sketch`` only applies on first creation, or when enabling the
+        sketch on an existing exact recorder (never silently *disables* one).
+        """
         if name not in self._latencies:
-            self._latencies[name] = LatencyRecorder(name)
+            self._latencies[name] = LatencyRecorder(name, sketch=sketch)
+        elif sketch is not None and self._latencies[name].sketch_threshold is None:
+            self._latencies[name].set_sketch(sketch)
         return self._latencies[name]
 
     def throughput(self, name: str, bucket_seconds: float = 1.0) -> ThroughputTracker:
@@ -218,9 +429,16 @@ class MetricRegistry:
         )
 
 
-def summarize_latencies(samples: Sequence[float]) -> Dict[str, float]:
-    """Convenience summary (mean/p50/p95/p99 in milliseconds) of raw samples."""
-    recorder = LatencyRecorder("summary")
+def summarize_latencies(
+    samples: Sequence[float], sketch: Optional[int] = None
+) -> Dict[str, float]:
+    """Convenience summary (mean/p50/p95/p99 in milliseconds) of raw samples.
+
+    Pass ``sketch=N`` to bound memory on huge sample streams: above ``N``
+    samples the summary is computed from the log-bucket sketch (≤ 1 %
+    relative quantile error); at or below it the result is exact.
+    """
+    recorder = LatencyRecorder("summary", sketch=sketch)
     for s in samples:
         recorder.record(s)
     return {

@@ -1,5 +1,6 @@
-"""Workload generators: YCSB A-F, key-value streams and append workloads."""
+"""Workload generators: YCSB A-F, key-value streams, appends and arrival curves."""
 
+from .arrival import ArrivalCurve, constant, diurnal, flash_crowd
 from .kv import preload_keys, read_mostly_workload, update_only_workload, uniform_key
 from .log import AppendWorkloadSpec, round_robin_logs, single_log
 from .ycsb import (
@@ -12,6 +13,10 @@ from .ycsb import (
 )
 
 __all__ = [
+    "ArrivalCurve",
+    "constant",
+    "diurnal",
+    "flash_crowd",
     "preload_keys",
     "read_mostly_workload",
     "update_only_workload",

@@ -116,6 +116,46 @@ class TestThroughputTracker:
         assert tracker.rate(5.0, 5.0) == 0.0
         assert tracker.timeline(3.0, 3.0) == []
 
+    def test_events_exactly_on_bucket_boundaries(self):
+        """An event at a bucket edge belongs to the bucket it *opens*.
+
+        Buckets are half-open ``[start, start+b)``: an event at exactly t=1.0
+        with 1-second buckets lands in bucket 1, never bucket 0, and an event
+        at the window end is excluded entirely (the window is ``[start, end)``).
+        """
+        clock = {"now": 0.0}
+        tracker = ThroughputTracker("tp", clock=lambda: clock["now"], bucket_seconds=1.0)
+        for t in (0.0, 1.0, 2.0):
+            clock["now"] = t
+            tracker.record(1.0)
+        timeline = tracker.timeline(0.0, 2.0)
+        assert [units for _, units in timeline] == [1.0, 1.0]  # t=2.0 excluded
+        assert tracker.total_between(0.0, 2.0) == 2.0
+        assert tracker.total_between(1.0, 2.0) == 1.0  # start edge included
+        assert tracker.rate(0.0, 2.0) == pytest.approx(1.0)
+
+    def test_fractional_final_bucket_covers_the_window_end(self):
+        """A window that is not a whole number of buckets still covers it:
+        the final (short) bucket exists and its rate is units / bucket."""
+        clock = {"now": 2.25}
+        tracker = ThroughputTracker("tp", clock=lambda: clock["now"], bucket_seconds=1.0)
+        tracker.record(4.0)
+        timeline = tracker.timeline(0.0, 2.5)
+        assert len(timeline) == 3
+        assert timeline[-1][0] == pytest.approx(2.0)
+        assert timeline[-1][1] == pytest.approx(4.0)
+
+    def test_reset_drops_events_but_keeps_identity(self):
+        clock = {"now": 0.5}
+        tracker = ThroughputTracker("tp", clock=lambda: clock["now"])
+        tracker.record(3.0)
+        tracker.reset()
+        assert tracker.total == 0.0
+        assert tracker.rate(0.0, 1.0) == 0.0
+        assert tracker.name == "tp"
+        tracker.record(1.0)
+        assert tracker.total == 1.0
+
 
 class TestMetricRegistry:
     def test_instruments_are_singletons_by_name(self):

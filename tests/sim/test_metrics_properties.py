@@ -1,0 +1,121 @@
+"""Property-based tests for the latency-recorder statistics.
+
+The swarm engine leans on :class:`LatencyRecorder` for every latency claim a
+figure makes — and above the sketch threshold it swaps the exact sample list
+for a log-bucket histogram.  Hypothesis pins the invariants on arbitrary
+sample sets:
+
+* ``percentile`` is monotone in the percentile, bounded by min/max, and
+  exact at the endpoints (p0 = min, p100 = max) in *both* modes;
+* ``cdf`` is monotone with a final cumulative fraction of 1.0;
+* ``fraction_below`` agrees with the sample definition and is monotone in
+  the threshold;
+* the sketch preserves count/min/max/mean exactly and p50/p95/p99 to within
+  the design bound of ~1% relative error (geometric bucket midpoints at
+  growth 1.02).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.metrics import LatencyRecorder
+
+#: Positive latencies well clear of the sketch's 1e-9 underflow bucket.
+samples_strategy = st.lists(
+    st.floats(min_value=1e-6, max_value=100.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=200,
+)
+
+#: Geometric-midpoint representatives at growth 1.02 are at most
+#: sqrt(1.02) - 1 ≈ 0.995% off any sample in their bucket.
+SKETCH_RTOL = 0.0101
+
+
+def _recorder(samples, sketch=None):
+    recorder = LatencyRecorder("prop", sketch=sketch)
+    for value in samples:
+        recorder.record(value)
+    return recorder
+
+
+class TestExactPercentiles:
+    @given(samples_strategy, st.floats(0, 100), st.floats(0, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_percentile_is_monotone_and_bounded(self, samples, p1, p2):
+        recorder = _recorder(samples)
+        lo, hi = sorted((p1, p2))
+        assert recorder.percentile(lo) <= recorder.percentile(hi)
+        assert min(samples) <= recorder.percentile(lo) <= max(samples)
+
+    @given(samples_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_percentile_endpoints_are_min_and_max(self, samples):
+        recorder = _recorder(samples)
+        assert recorder.percentile(0) == min(samples)
+        assert recorder.percentile(100) == max(samples)
+
+    @given(samples_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_cdf_is_monotone_and_complete(self, samples):
+        cdf = _recorder(samples).cdf(points=20)
+        fractions = [fraction for _, fraction in cdf]
+        values = [value for value, _ in cdf]
+        assert fractions == sorted(fractions)
+        assert values == sorted(values)
+        assert fractions[-1] == 1.0
+
+    @given(samples_strategy, st.floats(min_value=0.0, max_value=200.0))
+    @settings(max_examples=60, deadline=None)
+    def test_fraction_below_matches_sample_definition(self, samples, threshold):
+        recorder = _recorder(samples)
+        expected = sum(1 for s in samples if s < threshold) / len(samples)
+        assert recorder.fraction_below(threshold) == expected
+
+    @given(samples_strategy, st.floats(0.0, 100.0), st.floats(0.0, 100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_fraction_below_is_monotone(self, samples, t1, t2):
+        recorder = _recorder(samples)
+        lo, hi = sorted((t1, t2))
+        assert recorder.fraction_below(lo) <= recorder.fraction_below(hi)
+
+
+class TestSketchAgreement:
+    @given(samples_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_sketch_preserves_exact_scalars(self, samples):
+        exact = _recorder(samples)
+        sketched = _recorder(samples, sketch=0)  # fold immediately
+        assert sketched.sketching
+        assert sketched.count == exact.count
+        assert sketched.mean() == exact.mean()
+        assert sketched.percentile(0) == min(samples)
+        assert sketched.percentile(100) == max(samples)
+
+    @given(samples_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_sketch_percentiles_within_one_percent(self, samples):
+        exact = _recorder(samples)
+        sketched = _recorder(samples, sketch=0)
+        for pct in (50.0, 95.0, 99.0):
+            reference = exact.percentile(pct)
+            approximate = sketched.percentile(pct)
+            assert abs(approximate - reference) <= SKETCH_RTOL * reference
+
+    @given(samples_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_sketch_percentile_stays_monotone_and_bounded(self, samples):
+        sketched = _recorder(samples, sketch=0)
+        values = [sketched.percentile(p) for p in (0, 10, 50, 90, 95, 99, 100)]
+        assert values == sorted(values)
+        assert all(min(samples) <= v <= max(samples) for v in values)
+
+    @given(samples_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_threshold_crossing_folds_exactly_once(self, samples):
+        """Recording past the threshold must not lose or duplicate counts."""
+        threshold = max(1, len(samples) // 2)
+        recorder = _recorder(samples, sketch=threshold)
+        assert recorder.count == len(samples)
+        assert recorder.sketching == (len(samples) > threshold)
+        cdf = recorder.cdf(points=10)
+        assert cdf[-1][1] == 1.0
