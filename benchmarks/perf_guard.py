@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Performance guard: fail when key benchmark numbers regress.
+
+Compares the freshly written ``BENCH_kernel.json`` against the committed
+baseline (``git show <ref>:BENCH_kernel.json``, default ``HEAD``) and exits
+non-zero when either guarded metric drops more than the tolerance below its
+baseline:
+
+* ``micro.speedup`` — fast kernel events/s over the seed-snapshot kernel.
+  A ratio, so it is robust to the absolute speed of the CI machine.
+* ``batched.batched.commands_per_wall_s`` — ordered commands per wall-clock
+  second with the full batching path on.
+
+The tolerance is deliberately loose (20%): shared CI runners are noisy and
+the guard is meant to catch real regressions (an accidental fallback onto a
+slow path, a lost fast lane), not wobble.  Run from the repository root:
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py --smoke
+    python benchmarks/perf_guard.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from typing import Any, Dict, Optional, Tuple
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+
+#: Guarded metrics: (json path, human label).
+GUARDED = (
+    (("micro", "speedup"), "micro kernel speedup (fast vs legacy)"),
+    (("batched", "batched", "commands_per_wall_s"), "batched commands per wall-second"),
+)
+
+#: Maximum tolerated drop below the committed baseline.
+TOLERANCE = 0.20
+
+
+def _dig(payload: Dict[str, Any], path: Tuple[str, ...]) -> Optional[float]:
+    node: Any = payload
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def _committed_baseline(ref: str) -> Optional[Dict[str, Any]]:
+    try:
+        out = subprocess.run(
+            ["git", "show", f"{ref}:BENCH_kernel.json"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            check=True,
+        ).stdout
+        return json.loads(out)
+    except (OSError, subprocess.CalledProcessError, json.JSONDecodeError):
+        return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default="HEAD", help="git ref holding the baseline BENCH_kernel.json"
+    )
+    parser.add_argument(
+        "--current",
+        default=os.path.join(REPO_ROOT, "BENCH_kernel.json"),
+        help="path of the freshly written benchmark file",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.current) as fh:
+            current = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"perf-guard: cannot read {args.current}: {exc}")
+        return 2
+
+    baseline = _committed_baseline(args.baseline)
+    if baseline is None:
+        print(f"perf-guard: no committed BENCH_kernel.json at {args.baseline}; skipping")
+        return 0
+
+    failed = False
+    for path, label in GUARDED:
+        base = _dig(baseline, path)
+        cur = _dig(current, path)
+        name = ".".join(path)
+        if base is None or cur is None:
+            print(f"perf-guard: {name}: missing on one side (base={base}, current={cur}); skipping")
+            continue
+        floor = base * (1.0 - TOLERANCE)
+        verdict = "ok" if cur >= floor else "REGRESSED"
+        print(
+            f"perf-guard: {label}: current {cur:,.2f} vs baseline {base:,.2f} "
+            f"(floor {floor:,.2f}) -> {verdict}"
+        )
+        if cur < floor:
+            failed = True
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

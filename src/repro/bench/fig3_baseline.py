@@ -88,6 +88,7 @@ def run_fig3_point(
     batch_max_bytes: int = 32 * 1024,
     batch_max_delay: float = 0.0005,
     kernel_batch_dispatch: Optional[bool] = None,
+    profile: Optional[object] = None,
 ) -> ExperimentResult:
     """Run one (value size, storage mode) point of Figure 3.
 
@@ -97,6 +98,8 @@ def run_fig3_point(
     configuration — and ``kernel_batch_dispatch`` opts into the kernel's
     same-actor event-run dispatch (defaults to following
     ``batching_enabled`` so the baseline path stays byte-for-byte anchored).
+    ``profile`` forwards a :class:`repro.sim.profile.SimProfile` to the
+    kernel (default off).
     """
     if kernel_batch_dispatch is None:
         kernel_batch_dispatch = batching_enabled
@@ -109,8 +112,10 @@ def run_fig3_point(
         rate_interval=None,      # single ring: no merge partner to level against
         checkpoint_interval=None,
         trim_interval=None,
+        network_stats=False,     # counters are never read: take the send fast lane
     )
-    system = AtomicMulticast(topology=single_datacenter(), config=config, seed=seed)
+    system = AtomicMulticast(topology=single_datacenter(), config=config, seed=seed,
+                             profile=profile)
     processes = [
         _SelfProposingLearner(system.env, f"p{i}", ring_id=0, value_size=value_size,
                               threads=threads_per_proposer)

@@ -77,21 +77,34 @@ class AtomicMulticast:
         config: Optional[MultiRingConfig] = None,
         seed: int = 0,
         jitter_fraction: float = 0.05,
+        profile: Optional[object] = None,
     ) -> None:
         """Build an empty deployment.
 
         ``jitter_fraction`` is forwarded to the :class:`Network`; sharded
         differential tests set it to ``0`` because jitter draws come from one
         shared stream whose order a merged run and a sharded run interleave
-        differently.
+        differently.  ``profile`` installs a
+        :class:`repro.sim.profile.SimProfile` on the kernel; the default
+        ``None`` keeps the uninstrumented run loop.
         """
         self.config = config or MultiRingConfig()
         self.env = Environment(
-            simulator=Simulator(batch_dispatch=self.config.kernel_batch_dispatch),
+            simulator=Simulator(
+                batch_dispatch=self.config.kernel_batch_dispatch,
+                profile=profile,
+            ),
             seed=seed,
         )
         self.topology = topology or single_datacenter()
         self.network = Network(self.env, self.topology, jitter_fraction=jitter_fraction)
+        if not self.config.network_stats:
+            # Duck-typed: the kernel benchmark injects LegacyNetwork (frozen,
+            # three-argument constructor, always-on stats) through this module
+            # global, so the fast lane is requested only where it exists.
+            disable = getattr(self.network, "disable_stats", None)
+            if disable is not None:
+                disable()
         self.coordination = CoordinationService()
         self._ring_configs: Dict[int, MultiRingConfig] = {}
         self._evicted_members: Dict[str, Dict[int, RingMember]] = {}

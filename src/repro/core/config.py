@@ -84,6 +84,11 @@ class MultiRingConfig:
     #: :class:`repro.sim.kernel.Simulator`).  Off by default so the frozen
     #: seed differentials keep anchoring the exact default-path loop.
     kernel_batch_dispatch: bool = False
+    #: Aggregate network message/byte accounting (``Network.stats``).  On by
+    #: default — the fault differentials pin drop/message counts; benchmarks
+    #: that never read the counters switch it off to take the network's
+    #: no-stats send lane.  Does not change delivery times or order.
+    network_stats: bool = True
     #: How often replicas checkpoint their state (seconds); None disables it.
     checkpoint_interval: Optional[float] = 10.0
     #: How often coordinators run the trim protocol (seconds); None disables it.

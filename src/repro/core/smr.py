@@ -71,6 +71,10 @@ class StateMachineReplica(MultiRingProcess):
         self._recovery: Optional[RecoveryManager] = None
         self._commands_applied = 0
         self._recovering = False
+        # type(message) -> bound handler; same pattern as RingNode.HANDLERS.
+        self._service_handlers = {
+            cls: getattr(self, name) for cls, name in self.SERVICE_HANDLERS.items()
+        }
 
     # ----------------------------------------------------------- service API
     def apply_command(self, group_id: int, command: Command) -> Any:
@@ -168,17 +172,33 @@ class StateMachineReplica(MultiRingProcess):
         return self._checkpointer.safe_instance(group_id)
 
     # ------------------------------------------------------ recovery serving
+    #: Service-plane dispatch table (class attribute so subclasses can extend
+    #: it): exact message class -> handler method name, resolved to bound
+    #: methods once at construction.  Anything not in the table is client
+    #: traffic.
+    SERVICE_HANDLERS: Dict[type, str] = {
+        CheckpointRequest: "_handle_checkpoint_request",
+        CheckpointReply: "_handle_checkpoint_reply",
+        RetransmitReply: "_handle_retransmit_reply",
+    }
+
     def on_service_message(self, sender: str, message: Any) -> None:
-        if isinstance(message, CheckpointRequest):
-            self._serve_checkpoint_request(sender, message)
-        elif isinstance(message, CheckpointReply):
-            if self._recovery is not None:
-                self._recovery.handle_checkpoint_reply(message)
-        elif isinstance(message, RetransmitReply):
-            if self._recovery is not None:
-                self._recovery.handle_retransmit_reply(message)
+        handler = self._service_handlers.get(message.__class__)
+        if handler is not None:
+            handler(sender, message)
         else:
             self.on_client_message(sender, message)
+
+    def _handle_checkpoint_request(self, sender: str, message: CheckpointRequest) -> None:
+        self._serve_checkpoint_request(sender, message)
+
+    def _handle_checkpoint_reply(self, sender: str, message: CheckpointReply) -> None:
+        if self._recovery is not None:
+            self._recovery.handle_checkpoint_reply(message)
+
+    def _handle_retransmit_reply(self, sender: str, message: RetransmitReply) -> None:
+        if self._recovery is not None:
+            self._recovery.handle_retransmit_reply(message)
 
     def on_client_message(self, sender: str, message: Any) -> None:
         """Hook for service-specific client traffic (override as needed)."""

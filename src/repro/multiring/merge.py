@@ -637,8 +637,16 @@ class DeterministicMerger:
         if not queue and self._groups[self._current_index] == group_id:
             # Fast path (the only path for a single-ring learner): the offered
             # instance is exactly what the round-robin would consume next, so
-            # emit it without bouncing through the deque.
-            self._emit(group_id, instance, value)
+            # emit it without bouncing through the deque.  The plain-value
+            # emit is inlined; skips and packed values take the shared helper.
+            payload = value.payload
+            if payload is SKIP:
+                self._skipped += 1
+            elif isinstance(payload, PackedValues):
+                self._emit(group_id, instance, value)
+            else:
+                self._delivered += 1
+                self._on_deliver(group_id, instance, value)
             self._consumed_in_round += 1
             if self._consumed_in_round >= self._m:
                 self._consumed_in_round = 0

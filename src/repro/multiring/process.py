@@ -83,6 +83,7 @@ class MultiRingProcess(Actor):
                 )
             else:
                 self._merger.subscribe(overlay.ring_id)
+        self._rewire_ordered_sinks()
         return node
 
     def node(self, ring_id: int) -> RingNode:
@@ -101,6 +102,24 @@ class MultiRingProcess(Actor):
     def merger(self) -> Optional[DeterministicMerger]:
         """The deterministic merger (``None`` for non-learners)."""
         return self._merger
+
+    def _ordered_sink(self) -> Callable[[int, int, ProposalValue], None]:
+        """Callback ring learners emit into.
+
+        Without a streaming tap the per-ring ordered stream goes straight to
+        the merger — same calls, one frame less per ordered instance.  With a
+        tap (sharded streaming) or without a merger the general
+        :meth:`_on_ring_ordered` stays in the path.
+        """
+        if self._ring_tap is None and self._merger is not None:
+            return self._merger.offer
+        return self._on_ring_ordered
+
+    def _rewire_ordered_sinks(self) -> None:
+        sink = self._ordered_sink()
+        for node in self._nodes.values():
+            if node.learner is not None:
+                node.learner._on_ordered = sink
 
     # ----------------------------------------------------------------- start
     def on_start(self) -> None:
@@ -135,6 +154,7 @@ class MultiRingProcess(Actor):
         crash/restart (restarted learners keep feeding it).
         """
         self._ring_tap = sink
+        self._rewire_ordered_sinks()
 
     def record_ring_segments(
         self, into: Optional["RingSegmentBuffer"] = None
@@ -224,6 +244,10 @@ class MultiRingProcess(Actor):
 
     # -------------------------------------------------------------- messages
     def on_message(self, sender: str, message: Any) -> None:
+        # Hot path: a ring message resolves to its bound handler in two dict
+        # hits (ring id -> node, message class -> handler).  This inlines
+        # RingNode.handle — which stays the entry point for external callers
+        # and for classes missing from the table (subclasses, unknowns).
         ring_id = getattr(message, "ring_id", None)
         if ring_id is not None:
             node = self._nodes.get(ring_id)
@@ -231,7 +255,12 @@ class MultiRingProcess(Actor):
                 if isinstance(message, TrimQuery):
                     self._answer_trim_query(sender, message)
                     return
-                if node.handle(sender, message):
+                handler = node._handlers.get(message.__class__)
+                if handler is not None:
+                    self.cpu.charge_message(node._cpu_model, message.size_bytes)
+                    if handler(sender, message):
+                        return
+                elif node.handle(sender, message):
                     return
         self.on_service_message(sender, message)
 
@@ -280,6 +309,6 @@ class MultiRingProcess(Actor):
         for node in self._nodes.values():
             node.recover()
             if node.is_learner:
-                node.learner = type(node.learner)(node.ring_id, self._on_ring_ordered)
+                node.learner = type(node.learner)(node.ring_id, self._ordered_sink())
         for node in self._nodes.values():
             node.start()

@@ -85,7 +85,7 @@ class ProposalValue:
         return self.payload is SKIP
 
 
-@dataclass
+@dataclass(slots=True)
 class ValueForward(Message):
     """A client value travelling along the ring towards the coordinator."""
 
@@ -95,9 +95,10 @@ class ValueForward(Message):
     def __post_init__(self) -> None:
         if self.value is not None:
             self.payload_bytes = self.value.size_bytes
+        self.size_bytes = self.payload_bytes + self.OVERHEAD_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class Phase1A(Message):
     """Classic Paxos Phase 1A, pre-executed for a range of instances."""
 
@@ -107,7 +108,7 @@ class Phase1A(Message):
     to_instance: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Phase1B(Message):
     """Classic Paxos Phase 1B: a promise for a range of instances.
 
@@ -123,7 +124,7 @@ class Phase1B(Message):
     accepted: List[Tuple[int, int, Any]] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class Phase2Ring(Message):
     """The combined Phase 2A/2B message circulating along the ring.
 
@@ -143,29 +144,46 @@ class Phase2Ring(Message):
     span: int = 1
 
     def __post_init__(self) -> None:
-        if self.value is not None and not self.value.is_skip():
+        if self.value is not None and self.value.payload is not SKIP:
             self.payload_bytes = self.value.size_bytes
+        self.size_bytes = self.payload_bytes + self.OVERHEAD_BYTES
 
     @property
     def last_instance(self) -> int:
         """Highest instance covered by this message."""
         return self.instance + self.span - 1
 
+    def add_vote(self, acceptor: str) -> None:
+        """Append ``acceptor``'s vote in place.
+
+        The circulating Phase 2 message is uniquely owned by the hop that is
+        processing it (point-to-point delivery; the previous hop dropped its
+        reference when it forwarded), so the ring reuses the *same* object and
+        mutates the vote tuple instead of cloning one message per hop.
+        """
+        self.votes += (acceptor,)
+
     def with_vote(self, acceptor: str) -> "Phase2Ring":
         """A copy of the message with ``acceptor``'s vote appended.
 
-        Cloned by instance-dict copy (one per hop per instance): it skips
-        ``__init__``/``__post_init__`` re-deriving ``payload_bytes`` the copy
-        already has, while staying in sync with the field list automatically
-        (unlike a hand-written field-by-field copy).
+        The hot path mutates in place via :meth:`add_vote`; this copying
+        variant remains for callers that must not alias the original (and as
+        the oracle the message-plane differential tests pin against).
         """
         clone = Phase2Ring.__new__(Phase2Ring)
-        clone.__dict__.update(self.__dict__)
+        clone.payload_bytes = self.payload_bytes
+        clone.size_bytes = self.size_bytes
+        clone.ring_id = self.ring_id
+        clone.instance = self.instance
+        clone.ballot = self.ballot
+        clone.value = self.value
         clone.votes = self.votes + (acceptor,)
+        clone.origin = self.origin
+        clone.span = self.span
         return clone
 
 
-@dataclass
+@dataclass(slots=True)
 class Decision(Message):
     """A learned decision circulating along the ring.
 
@@ -185,13 +203,26 @@ class Decision(Message):
     span: int = 1
 
     def __post_init__(self) -> None:
-        if self.carries_value and self.value is not None and not self.value.is_skip():
+        if self.carries_value and self.value is not None and self.value.payload is not SKIP:
             self.payload_bytes = self.value.size_bytes
+        self.size_bytes = self.payload_bytes + self.OVERHEAD_BYTES
 
     @property
     def last_instance(self) -> int:
         """Highest instance covered by this decision."""
         return self.instance + self.span - 1
+
+    def strip_value(self) -> None:
+        """Stop charging the wire for the value, in place.
+
+        Used by the coordinator when the decision completes its first ring
+        turn: downstream hops already saw the value in the Phase 2 message, so
+        only the small decision record travels on.  In-place is safe for the
+        same sole-ownership reason as :meth:`Phase2Ring.add_vote`.
+        """
+        self.carries_value = False
+        self.payload_bytes = 0
+        self.size_bytes = self.OVERHEAD_BYTES
 
     def without_value(self) -> "Decision":
         """A copy that no longer carries the value (small wire footprint)."""
@@ -205,7 +236,7 @@ class Decision(Message):
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class RetransmitRequest(Message):
     """Recovering replica asking an acceptor for decided instances.
 
@@ -222,7 +253,7 @@ class RetransmitRequest(Message):
     reason: str = "recovery"
 
 
-@dataclass
+@dataclass(slots=True)
 class RetransmitReply(Message):
     """Acceptor reply carrying ``(instance, value)`` pairs."""
 
@@ -235,16 +266,17 @@ class RetransmitReply(Message):
         self.payload_bytes = sum(
             v.size_bytes for _, v in self.decided if v is not None and not v.is_skip()
         )
+        self.size_bytes = self.payload_bytes + self.OVERHEAD_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class TrimQuery(Message):
     """Coordinator asking replicas for their highest safe instance (Section 5.2)."""
 
     ring_id: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class TrimReport(Message):
     """Replica reply: its checkpointed instance ``k[x]_p`` for the ring."""
 
@@ -253,7 +285,7 @@ class TrimReport(Message):
     safe_instance: int = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class TrimCommand(Message):
     """Coordinator instructing acceptors to trim their log up to ``K[x]_T``."""
 
@@ -261,7 +293,7 @@ class TrimCommand(Message):
     up_to_instance: int = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class CheckpointRequest(Message):
     """Recovering replica asking a peer for its most recent checkpoint.
 
@@ -275,7 +307,7 @@ class CheckpointRequest(Message):
     include_state: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class CheckpointReply(Message):
     """Peer reply carrying its checkpoint identifier and, on demand, the state."""
 
@@ -288,3 +320,4 @@ class CheckpointReply(Message):
     def __post_init__(self) -> None:
         if self.includes_state:
             self.payload_bytes = self.state_size_bytes
+        self.size_bytes = self.payload_bytes + self.OVERHEAD_BYTES

@@ -186,6 +186,12 @@ class RingNode:
         #: :meth:`_flush_assignments`)
         self._batch_timer_armed = False
         self._batch_flush_handle = None
+        #: per-class dispatch table: ``type(message) -> bound handler``.  Built
+        #: once per node from :data:`HANDLERS`; message subclasses and unknown
+        #: types are resolved lazily (and cached) by :meth:`_resolve_handler`.
+        self._handlers: Dict[type, Optional[Callable[[str, Any], bool]]] = {
+            cls: getattr(self, name) for cls, name in self.HANDLERS.items()
+        }
 
     def _refresh_ring_geometry(self) -> None:
         """Cache the per-message ring lookups; rerun when the overlay changes.
@@ -284,49 +290,60 @@ class RingNode:
         self.host.send(self._successor, message)
 
     # ------------------------------------------------------------- dispatch
-    def handle(self, sender: str, message: Any) -> bool:
-        """Process a ring message; returns ``False`` if the type is unknown.
+    #: Message class → handler method name.  Every handler has the uniform
+    #: signature ``(sender, message) -> bool`` (``False`` means "not consumed
+    #: here — fall through to the service layer").  The table replaces the old
+    #: hottest-first isinstance chain: one dict lookup per message instead of
+    #: up to ten type checks (the exhaustiveness differential in
+    #: ``tests/ringpaxos/test_dispatch_table.py`` pins the two to each other).
+    HANDLERS: Dict[type, str] = {
+        Phase2Ring: "_handle_phase2",
+        Decision: "_handle_decision",
+        ValueForward: "_handle_value_forward",
+        Phase1A: "_handle_phase1a",
+        Phase1B: "_handle_phase1b",
+        RetransmitRequest: "_handle_retransmit_request",
+        RetransmitReply: "_handle_retransmit_reply",
+        TrimQuery: "_handle_trim_query",
+        TrimReport: "_handle_trim_report",
+        TrimCommand: "_handle_trim_command",
+    }
 
-        The type checks are ordered hottest-first: Phase 2 and Decision
-        messages make up almost all ring traffic (one of each per hop per
-        instance), value forwards are next, and the Phase 1 / trim /
-        retransmit machinery only runs at startup, periodically or during
-        recovery.
-        """
+    def handle(self, sender: str, message: Any) -> bool:
+        """Process a ring message; returns ``False`` if the type is unknown."""
         # CPU accounting, inlined (one call per ring message): forwarding and
         # voting both cost per-message and per-byte CPU on the hosting actor.
         self.host.cpu.charge_message(self._cpu_model, getattr(message, "size_bytes", 0))
-        if isinstance(message, Phase2Ring):
-            self._handle_phase2(message)
-        elif isinstance(message, Decision):
-            self._handle_decision(message)
-        elif isinstance(message, ValueForward):
-            self._handle_value_forward(message)
-        elif isinstance(message, Phase1A):
-            self._handle_phase1a(sender, message)
-        elif isinstance(message, Phase1B):
-            self._handle_phase1b(message)
-        elif isinstance(message, RetransmitRequest):
-            self._handle_retransmit_request(message)
-        elif isinstance(message, RetransmitReply):
-            return self._handle_retransmit_reply(message)
-        elif isinstance(message, TrimQuery):
-            return False  # answered by the replica layer, not the ring node
-        elif isinstance(message, TrimReport):
-            self._handle_trim_report(message)
-        elif isinstance(message, TrimCommand):
-            self._handle_trim_command(message)
-        else:
+        try:
+            handler = self._handlers[message.__class__]
+        except KeyError:
+            handler = self._resolve_handler(message.__class__)
+        if handler is None:
             return False
-        return True
+        return handler(sender, message)
+
+    def _resolve_handler(self, cls: type) -> Optional[Callable[[str, Any], bool]]:
+        """Resolve (and cache) the handler for a subclass or unknown type."""
+        handler = None
+        for base in cls.__mro__:
+            name = self.HANDLERS.get(base)
+            if name is not None:
+                handler = getattr(self, name)
+                break
+        self._handlers[cls] = handler
+        return handler
+
+    def _handle_trim_query(self, sender: str, message: TrimQuery) -> bool:
+        return False  # answered by the replica layer, not the ring node
 
     # ------------------------------------------------------- value forwarding
-    def _handle_value_forward(self, message: ValueForward) -> None:
+    def _handle_value_forward(self, sender: str, message: ValueForward) -> bool:
         if self.is_coordinator:
             assert message.value is not None
             self._coordinator_enqueue(message.value)
         else:
             self._forward_towards_coordinator(message)
+        return True
 
     def _coordinator_enqueue(self, value: ProposalValue) -> None:
         assert self.coordinator is not None
@@ -416,14 +433,14 @@ class RingNode:
             self._forward_phase2(message)
 
     # ----------------------------------------------------------------- phase 1
-    def _handle_phase1a(self, sender: str, message: Phase1A) -> None:
+    def _handle_phase1a(self, sender: str, message: Phase1A) -> bool:
         if not self.is_acceptor or self.acceptor is None:
-            return
+            return True
         granted = self.acceptor.receive_phase1a(
             message.from_instance, message.to_instance, message.ballot
         )
         if not granted:
-            return
+            return True
         self.host.send(
             sender,
             Phase1B(
@@ -437,10 +454,11 @@ class RingNode:
                 ),
             ),
         )
+        return True
 
-    def _handle_phase1b(self, message: Phase1B) -> None:
+    def _handle_phase1b(self, sender: str, message: Phase1B) -> bool:
         if not self.is_coordinator or self.coordinator is None:
-            return
+            return True
         # A new coordinator must not reuse instance numbers that already hold
         # accepted values from a previous coordinator's reign.
         for instance, ballot, value in message.accepted:
@@ -454,6 +472,7 @@ class RingNode:
             self._takeover_repair()
         if ready and self.coordinator.has_pending():
             self._flush_assignments()
+        return True
 
     def _takeover_repair(self) -> None:
         """Finish instances the failed coordinator left behind (classic Paxos).
@@ -492,7 +511,7 @@ class RingNode:
         self._takeover_accepted.clear()
 
     # ----------------------------------------------------------------- phase 2
-    def _handle_phase2(self, message: Phase2Ring) -> None:
+    def _handle_phase2(self, sender: str, message: Phase2Ring) -> bool:
         if self.is_learner and self.learner is not None and message.value is not None:
             if message.span == 1:
                 # Almost every message covers one instance; skip the range.
@@ -502,14 +521,19 @@ class RingNode:
                     self.learner.observe_value(instance, message.value)
 
         if self.is_acceptor and self.acceptor is not None and message.value is not None:
-            voted = message.with_vote(self.host.name)
+            # Append the vote in place and keep circulating the *same* object:
+            # the previous hop dropped its reference when it forwarded, so
+            # nothing aliases the message (the network never duplicates a
+            # delivery — faults only drop).  This used to clone one message
+            # per hop per instance.
+            message.add_vote(self.host.name)
             if message.span == 1:
                 self.acceptor.receive_phase2(
                     message.instance,
                     message.ballot,
                     message.value,
                     on_durable=self._after_own_vote_callback,
-                    on_durable_args=(voted,),
+                    on_durable_args=(message,),
                 )
             else:
                 self.acceptor.receive_phase2_range(
@@ -518,10 +542,11 @@ class RingNode:
                     message.ballot,
                     message.value,
                     on_durable=self._after_own_vote_callback,
-                    on_durable_args=(voted,),
+                    on_durable_args=(message,),
                 )
         else:
             self._forward_phase2(message)
+        return True
 
     def _forward_phase2(self, message: Phase2Ring) -> None:
         successor = self._successor
@@ -542,14 +567,28 @@ class RingNode:
         self._learn_decision(decision)
         self._forward_decision(decision)
 
-    def _handle_decision(self, message: Decision) -> None:
+    def _handle_decision(self, sender: str, message: Decision) -> bool:
         self._learn_decision(message)
         self._forward_decision(message)
+        return True
 
     def _learn_decision(self, message: Decision) -> None:
         acceptor = self.acceptor if self.is_acceptor else None
         learner = self.learner if self.is_learner else None
-        last_instance = message.instance if message.span == 1 else message.last_instance
+        if message.span == 1:
+            # Nearly every decision covers one instance; skip the range loop.
+            instance = message.instance
+            value = message.value
+            if value is None and self.acceptor is not None:
+                value = self.acceptor.accepted_value(instance)
+            if acceptor is not None and value is not None:
+                acceptor.record_decision(instance, value)
+            if learner is not None:
+                learner.observe_decision(instance, value)
+            if self._is_coordinator and self.coordinator is not None:
+                self.coordinator.ledger.observe_instance(instance)
+            return
+        last_instance = message.last_instance
         for instance in range(message.instance, last_instance + 1):
             value = message.value
             if value is None and self.acceptor is not None:
@@ -565,12 +604,13 @@ class RingNode:
         successor = self._successor
         if successor == message.origin:
             return
-        outgoing = message
         if self._is_coordinator and message.carries_value:
             # Past the coordinator the value has already circulated with the
-            # Phase 2 message; stop paying for it on the wire.
-            outgoing = message.without_value()
-        self.host.send(successor, outgoing)
+            # Phase 2 message; stop paying for it on the wire.  Stripped in
+            # place: every hop before the coordinator already handled the
+            # message, so no live reference sees the old wire size.
+            message.strip_value()
+        self.host.send(successor, message)
 
     # ----------------------------------------------------------- rate leveling
     def _rate_level_tick(self) -> None:
@@ -594,31 +634,33 @@ class RingNode:
                 continue
             self.host.send(learner, TrimQuery(ring_id=self.ring_id))
 
-    def _handle_trim_report(self, message: TrimReport) -> None:
+    def _handle_trim_report(self, sender: str, message: TrimReport) -> bool:
         if not self.is_coordinator:
-            return
+            return True
         self._trim_reports[message.replica] = message.safe_instance
         quorum = self.config.trim_quorum or (len(self.overlay.learners) // 2 + 1)
         if len(self._trim_reports) < quorum:
-            return
+            return True
         safe = min(self._trim_reports.values())
         if safe < 0:
-            return
+            return True
         for acceptor in self.overlay.acceptors:
             if acceptor == self.host.name and self.acceptor is not None:
                 self.acceptor.trim(safe)
                 continue
             self.host.send(acceptor, TrimCommand(ring_id=self.ring_id, up_to_instance=safe))
         self._trim_reports.clear()
+        return True
 
-    def _handle_trim_command(self, message: TrimCommand) -> None:
+    def _handle_trim_command(self, sender: str, message: TrimCommand) -> bool:
         if self.is_acceptor and self.acceptor is not None:
             self.acceptor.trim(message.up_to_instance)
+        return True
 
     # ---------------------------------------------------------- retransmission
-    def _handle_retransmit_request(self, message: RetransmitRequest) -> None:
+    def _handle_retransmit_request(self, sender: str, message: RetransmitRequest) -> bool:
         if not self.is_acceptor or self.acceptor is None:
-            return
+            return True
         if message.to_instance < 0:
             decided = self.acceptor.decided_from(message.from_instance)
         else:
@@ -632,6 +674,7 @@ class RingNode:
                 reason=message.reason,
             ),
         )
+        return True
 
     # ------------------------------------------------------------- gap repair
     def _gap_repair_tick(self) -> None:
@@ -721,7 +764,7 @@ class RingNode:
             if repaired >= 512:
                 break  # bound the burst; the next tick continues
 
-    def _handle_retransmit_reply(self, message: RetransmitReply) -> bool:
+    def _handle_retransmit_reply(self, sender: str, message: RetransmitReply) -> bool:
         """Feed gap-repair retransmissions to the learner.
 
         Recovery-reason replies are left to the hosting replica's

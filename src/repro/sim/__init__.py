@@ -36,6 +36,7 @@ from .disk import Disk, DiskProfile, HDD_PROFILE, SSD_PROFILE, StorageMode, prof
 from .kernel import Event, EventHandle, SimulationError, Simulator, ms, us
 from .metrics import Counter, LatencyRecorder, MetricRegistry, ThroughputTracker, summarize_latencies
 from .network import MessageStats, Network, message_size
+from .profile import SimProfile, profile_function
 from .random import LatestGenerator, SeededStreams, UniformIntGenerator, ZipfianGenerator
 from .topology import EC2_REGIONS, Site, Topology, ec2_global, single_datacenter
 

@@ -48,6 +48,7 @@ a snapshot of the original for differential tests.
 from __future__ import annotations
 
 from heapq import heapify, heappop, heappush
+from math import inf
 from typing import Any, Callable, List, Optional, Tuple
 
 __all__ = [
@@ -157,6 +158,12 @@ class Simulator:
     ----------
     start_time:
         Initial value of the simulation clock (seconds).
+    profile:
+        Optional :class:`repro.sim.profile.SimProfile` collecting per-callback
+        event counts and wall time.  ``None`` (the default) keeps the run loop
+        untouched; with a profile installed the loop routes through an
+        instrumented twin that executes the exact same event sequence while
+        timing each callback.
     batch_dispatch:
         Same-actor event-run batching: when the heap head is a run of
         consecutive fire-and-forget entries (the ``_post`` layout) bound to
@@ -184,7 +191,12 @@ class Simulator:
     #: Minimum number of cancellations before a compaction is considered.
     COMPACT_MIN_CANCELLED = 64
 
-    def __init__(self, start_time: float = 0.0, batch_dispatch: bool = False) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        batch_dispatch: bool = False,
+        profile: Optional[Any] = None,
+    ) -> None:
         self._now = float(start_time)
         self._queue: List[_Entry] = []
         self._seq = 0
@@ -193,6 +205,12 @@ class Simulator:
         self._stopped = False
         self._processed = 0
         self._batch_dispatch = batch_dispatch
+        self._profile = profile
+
+    @property
+    def profile(self) -> Optional[Any]:
+        """The installed :class:`~repro.sim.profile.SimProfile` (or ``None``)."""
+        return self._profile
 
     # ------------------------------------------------------------------ time
     @property
@@ -340,6 +358,70 @@ class Simulator:
         float
             The simulation time when the run stopped.
         """
+        if self._profile is not None:
+            return self._run_profiled(until, max_events)
+        if max_events is None and not self._batch_dispatch:
+            return self._run_default(until)
+        return self._run_general(until, max_events)
+
+    def _run_default(self, until: Optional[float]) -> float:
+        """The common loop: no event cap, no batch dispatch, no profiling.
+
+        Byte-for-byte the general loop minus the per-event ``max_events``
+        counting and batch-dispatch branch; ``until`` is hoisted into a plain
+        float bound (``inf`` when absent) so the per-event check is a single
+        comparison.  The executed event sequence is identical to
+        :meth:`_run_general` for the same inputs.
+        """
+        self._running = True
+        self._stopped = False
+        queue = self._queue
+        pop = heappop
+        limit = inf if until is None else until
+        try:
+            while queue and not self._stopped:
+                entry = queue[0]
+                head = entry[3]
+                # Two heap-entry layouts: (time, prio, seq, Event) from the
+                # public schedulers, (time, prio, seq, callback, args) from
+                # the fire-and-forget _post path.
+                if head.__class__ is Event:
+                    if head.cancelled:
+                        pop(queue)
+                        if self._cancelled:
+                            self._cancelled -= 1
+                        continue
+                    time = entry[0]
+                    if time > limit:
+                        self._now = until
+                        break
+                    pop(queue)
+                    self._now = time
+                    self._processed += 1
+                    head.fired = True
+                    kwargs = head.kwargs
+                    if kwargs is None:
+                        head.callback(*head.args)
+                    else:
+                        head.callback(*head.args, **kwargs)
+                else:
+                    time = entry[0]
+                    if time > limit:
+                        self._now = until
+                        break
+                    pop(queue)
+                    self._now = time
+                    self._processed += 1
+                    head(*entry[4])
+            else:
+                if until is not None and self._now < until and not self._stopped:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def _run_general(self, until: Optional[float], max_events: Optional[int]) -> float:
+        """The full loop: event caps and same-actor batch dispatch."""
         self._running = True
         self._stopped = False
         queue = self._queue
@@ -404,6 +486,90 @@ class Simulator:
                             self._now = ntime
                             self._processed += 1
                             head(*nargs)
+                if not unbounded:
+                    executed += 1
+                    if executed >= max_events:
+                        break
+            else:
+                if until is not None and self._now < until and not self._stopped:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def _run_profiled(self, until: Optional[float], max_events: Optional[int]) -> float:
+        """Instrumented twin of the run loop (``profile=`` installed).
+
+        Executes the exact same event sequence as the uninstrumented loops —
+        same pops, same clock, same stop conditions, including the batch
+        dispatch drain — while attributing a wall-time measurement and an
+        event count to every callback.  Lives in its own method so the
+        default loops stay free of per-event timing branches.
+        """
+        profile = self._profile
+        record = profile.record
+        self._running = True
+        self._stopped = False
+        queue = self._queue
+        pop = heappop
+        timer = profile.clock
+        executed = 0
+        unbounded = max_events is None
+        batching = self._batch_dispatch
+        try:
+            while queue and not self._stopped:
+                entry = queue[0]
+                head = entry[3]
+                if head.__class__ is Event:
+                    if head.cancelled:
+                        pop(queue)
+                        if self._cancelled:
+                            self._cancelled -= 1
+                        continue
+                    time = entry[0]
+                    if until is not None and time > until:
+                        self._now = until
+                        break
+                    pop(queue)
+                    self._now = time
+                    self._processed += 1
+                    head.fired = True
+                    kwargs = head.kwargs
+                    t0 = timer()
+                    if kwargs is None:
+                        head.callback(*head.args)
+                    else:
+                        head.callback(*head.args, **kwargs)
+                    record(head.callback, timer() - t0)
+                else:
+                    time = entry[0]
+                    if until is not None and time > until:
+                        self._now = until
+                        break
+                    pop(queue)
+                    self._now = time
+                    self._processed += 1
+                    t0 = timer()
+                    head(*entry[4])
+                    record(head, timer() - t0)
+                    if batching and unbounded:
+                        target = entry[4][0] if entry[4] else None
+                        while queue and not self._stopped:
+                            nxt = queue[0]
+                            if len(nxt) != 5 or nxt[3] is not head:
+                                break
+                            nargs = nxt[4]
+                            if (nargs[0] if nargs else None) is not target:
+                                break
+                            ntime = nxt[0]
+                            if until is not None and ntime > until:
+                                break
+                            pop(queue)
+                            self._now = ntime
+                            self._processed += 1
+                            t0 = timer()
+                            head(*nargs)
+                            record(head, timer() - t0)
                 if not unbounded:
                     executed += 1
                     if executed >= max_events:

@@ -61,17 +61,29 @@ __all__ = ["Network", "MessageStats", "RemoteMessage", "message_size"]
 RemoteMessage = Tuple[float, str, str, Any]
 
 
+#: Memo of message classes known not to define ``size_bytes``: the first
+#: lookup pays the AttributeError, every later send of the same class takes a
+#: set-membership test instead of re-raising per send.
+_UNSIZED_TYPES: Set[type] = set()
+
+
 def message_size(message: Any, default: int = 128) -> int:
     """Best-effort size (bytes) of a protocol message.
 
     Protocol messages define ``size_bytes`` (see :mod:`repro.net.message`);
     anything else falls back to ``default`` which approximates a small control
-    message with TCP/IP overhead.
+    message with TCP/IP overhead.  The fallback is memoized by message class
+    so non-``Message`` payloads do not pay exception handling on every send
+    (a class whose *instances* carry ``size_bytes`` inconsistently is treated
+    as unsized from the first miss on).
     """
-    size = getattr(message, "size_bytes", None)
-    if size is None:
+    if message.__class__ in _UNSIZED_TYPES:
         return default
-    return int(size)
+    try:
+        return int(message.size_bytes)
+    except AttributeError:
+        _UNSIZED_TYPES.add(message.__class__)
+        return default
 
 
 @dataclass
@@ -113,7 +125,8 @@ class _Channel:
 class _Connection:
     """Resolved state of one directed actor pair, built on first send."""
 
-    __slots__ = ("dst_actor", "src_site", "dst_site", "channel", "last_delivery_at")
+    __slots__ = ("dst_actor", "src_site", "dst_site", "channel", "last_delivery_at",
+                 "deliver")
 
     def __init__(self, dst_actor: Any, src_site: str, dst_site: str, channel: _Channel) -> None:
         self.dst_actor = dst_actor
@@ -123,6 +136,10 @@ class _Connection:
         #: last scheduled delivery time on this connection, enforcing TCP-like
         #: FIFO order even in the presence of jitter
         self.last_delivery_at = 0.0
+        #: precomputed delivery closure stored into each heap entry (set by
+        #: the owning network right after construction); ``None`` for gateway
+        #: connections, whose messages leave through the outbox instead
+        self.deliver = None
 
 
 class Network:
@@ -140,6 +157,11 @@ class Network:
         self.env = env
         self.topology = topology
         self.stats = MessageStats()
+        #: aggregate stats collection; :meth:`disable_stats` turns it off for
+        #: measurement runs that never read the counters (drops stay counted)
+        self._collect_stats = True
+        #: per-network memo of message classes without ``size_bytes``
+        self._unsized_types: Set[type] = set()
         self._jitter = jitter_fraction
         self._rng = env.streams.stream("network.jitter")
         self._rng_random = self._rng.random
@@ -205,16 +227,31 @@ class Network:
                         return
                 self.stats.record_drop()
                 return
+        # Fault filtering, skipped entirely while no partition/isolation is
+        # active.  Blocked sends are dropped *before* the timing arithmetic:
+        # they must not advance channel occupancy or draw jitter.
         if self._has_faults and self._blocked(conn.src_site, conn.dst_site):
             self.stats.record_drop()
             return
-
-        size = getattr(message, "size_bytes", 128) + self.HEADER_BYTES
+        # Wire size: protocol messages carry a cached ``size_bytes`` slot; the
+        # default for anything else is memoized by class so the AttributeError
+        # is paid once per type, not once per send.
+        if message.__class__ in self._unsized_types:
+            size = 128 + self.HEADER_BYTES
+        else:
+            try:
+                size = message.size_bytes + self.HEADER_BYTES
+            except AttributeError:
+                self._unsized_types.add(message.__class__)
+                size = 128 + self.HEADER_BYTES
         channel = conn.channel
         now = self._simulator._now
         # The arithmetic below mirrors the seed's _delivery_delay expression
         # term for term (same operations, same association) so that delivery
-        # timestamps — and therefore event order — stay bit-identical.
+        # timestamps — and therefore event order — stay bit-identical; the
+        # fast lane and the standard lane share it for the same reason (a run
+        # with stats disabled replays the exact event sequence of a run with
+        # stats enabled).
         propagation = channel.latency
         transmission = (size * 8.0) / channel.bandwidth
         jitter = 0.0
@@ -233,17 +270,22 @@ class Network:
         if delivery_at < conn.last_delivery_at:
             delivery_at = conn.last_delivery_at
         conn.last_delivery_at = delivery_at
-        stats = self.stats
-        stats.messages += 1
-        stats.bytes += size
+        if self._collect_stats:
+            # Stats accounting — the fast lane (``disable_stats``) skips it
+            # for measurement runs that never read the counters.
+            stats = self.stats
+            stats.messages += 1
+            stats.bytes += size
         # Inlined Simulator._post (one event per message): same entry layout
         # and the same ``now + delay`` arithmetic, one call less per send.
+        # The callback is the connection's precomputed delivery closure, so
+        # delivery runs without an intermediate dispatch frame.
         sim = self._simulator
         seq = sim._seq
         sim._seq = seq + 1
         heappush(
             sim._queue,
-            (now + (delivery_at - now), 0, seq, self._deliver_callback, (conn, src, message)),
+            (now + (delivery_at - now), 0, seq, conn.deliver, (src, message)),
         )
 
     def _resolve(self, src: str, dst: str) -> Optional[_Connection]:
@@ -270,8 +312,30 @@ class Network:
             )
             self._channels[(src_site, dst_site)] = channel
         conn = _Connection(dst_actor, src_site, dst_site, channel)
+        conn.deliver = self._make_deliver(dst_actor)
         self._connections[(src, dst)] = conn
         return conn
+
+    def _make_deliver(self, actor: Any) -> Any:
+        """Precompute the delivery closure stored into each heap entry.
+
+        One closure per connection: delivery runs without an intermediate
+        dispatch frame or connection-record lookups, and — because closure
+        identity stands in for the connection — the kernel's same-actor batch
+        dispatch groups entries exactly as it did when the shared ``_deliver``
+        callback carried the connection as its first argument.
+        """
+        stats = self.stats
+
+        def deliver(src: str, message: Any) -> None:
+            if actor.alive:
+                # Equivalent to actor.deliver(src, message) minus its (already
+                # performed) aliveness check — one call layer less per delivery.
+                actor.on_message(src, message)
+            else:
+                stats.dropped += 1
+
+        return deliver
 
     def _deliver(self, conn: _Connection, src: str, message: Any) -> None:
         actor = conn.dst_actor
@@ -281,6 +345,27 @@ class Network:
         # Equivalent to actor.deliver(src, message) minus its (already
         # performed) aliveness check — one call layer less per delivery.
         actor.on_message(src, message)
+
+    # ------------------------------------------------------------------ stats
+    def disable_stats(self) -> None:
+        """Stop aggregate message/byte accounting (the send fast lane).
+
+        For measurement runs that never read :attr:`stats`: together with the
+        no-fault guard this removes every branch the send path does not need.
+        Drops (dead destination, partitions) are still counted.  The event
+        trajectory is unaffected — a run with stats disabled delivers the
+        exact same messages at the exact same times.
+        """
+        self._collect_stats = False
+
+    def enable_stats(self) -> None:
+        """Re-enable aggregate message/byte accounting."""
+        self._collect_stats = True
+
+    @property
+    def stats_enabled(self) -> bool:
+        """Whether aggregate message/byte accounting is active."""
+        return self._collect_stats
 
     # ------------------------------------------------------- sharded gateway
     def set_remote_routes(self, actor_sites: Mapping[str, str]) -> None:

@@ -1,0 +1,95 @@
+"""Property tests: cached wire sizes equal their recomputed definitions.
+
+``size_bytes`` is cached at construction everywhere on the message plane
+(and maintained incrementally by ``Batch.append``); these properties pin the
+cache to the recomputed definition for arbitrary nested shapes:
+
+* a ``Batch`` — possibly containing batches — always reports framing
+  overhead plus the sum of its members' wire sizes, however it was built
+  (constructor, appends, or a mix);
+* a ``ProposalValue`` wrapping ``PackedValues`` built the way the
+  coordinator packs instances always reports the sum of its leaf values'
+  sizes, packs-of-packs included.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.packing import iter_values
+from repro.net.message import Batch, ClientRequest, ClientResponse, Message
+from repro.paxos.messages import ProposalValue
+from repro.ringpaxos.coordinator import PackedValues
+
+#: Payload sizes from empty to the 32 KB client batching ceiling.
+payload_sizes = st.integers(min_value=0, max_value=32_768)
+
+leaf_messages = st.one_of(
+    payload_sizes.map(lambda n: Message(payload_bytes=n)),
+    payload_sizes.map(lambda n: ClientRequest(payload_bytes=n, client="c", command="x")),
+    payload_sizes.map(lambda n: ClientResponse(payload_bytes=n, request_id=1)),
+)
+
+#: Batches of batches, up to three levels deep.
+nested_batches = st.recursive(
+    leaf_messages,
+    lambda children: st.lists(children, max_size=5).map(lambda ms: Batch(messages=ms)),
+    max_leaves=25,
+)
+
+
+def recomputed_size(message: Message) -> int:
+    """The pre-caching definition: framing + recursive member sum."""
+    if isinstance(message, Batch):
+        return Message.OVERHEAD_BYTES + sum(recomputed_size(m) for m in message.messages)
+    return message.payload_bytes + type(message).OVERHEAD_BYTES
+
+
+@given(message=nested_batches)
+@settings(max_examples=200)
+def test_cached_size_equals_recomputed_definition(message):
+    assert message.size_bytes == recomputed_size(message)
+
+
+@given(members=st.lists(nested_batches, max_size=6), extra=st.lists(leaf_messages, max_size=4))
+@settings(max_examples=200)
+def test_append_keeps_cache_equal_to_definition(members, extra):
+    batch = Batch(messages=list(members))
+    assert batch.size_bytes == recomputed_size(batch)
+    for message in extra:
+        batch.append(message)
+        assert batch.size_bytes == recomputed_size(batch)
+
+
+# --------------------------------------------------------------- PackedValues
+def _pack(values):
+    """Pack values exactly like the coordinator: size is the member sum."""
+    return ProposalValue(
+        payload=PackedValues(values=list(values)),
+        size_bytes=sum(v.size_bytes for v in values),
+        proposer="coord",
+        proposal_id=0,
+    )
+
+
+plain_values = st.builds(
+    ProposalValue,
+    payload=st.just("cmd"),
+    size_bytes=payload_sizes,
+    proposer=st.just("p0"),
+    proposal_id=st.integers(min_value=0, max_value=1 << 20),
+)
+
+#: Packs of packs, mirroring what re-proposed repaired instances can produce.
+nested_packs = st.recursive(
+    plain_values,
+    lambda children: st.lists(children, min_size=1, max_size=5).map(_pack),
+    max_leaves=25,
+)
+
+
+@given(value=nested_packs)
+@settings(max_examples=200)
+def test_packed_value_size_is_sum_of_leaves(value):
+    leaves = list(iter_values(value))
+    assert value.size_bytes == sum(leaf.size_bytes for leaf in leaves)
