@@ -36,6 +36,21 @@ root:
   bit-identical between ``workers=1`` and ``workers=2`` and equal to the
   offline replay anchor.  The section also records the stall window the
   crash opened (``reactive_stall_count`` / ``reactive_stalled_ms``).
+* **barrier_overhead** — the barrier-plane round-2 accounting, measured on
+  the fig6 smoke point (shared configuration, 2 log rings + common ring,
+  ``workers=2``, warmup 0.2 s / duration 0.6 s): IPC bytes per barrier with
+  the compact wire codec on vs the legacy pickling baseline (the codec must
+  cut >= 30%), plus how much of the merge stage ran overlapped with the next
+  window (``merge_overlap_fraction``).  The byte counts are deterministic
+  for a fixed seed, so the perf guard pins them exactly.
+* **skip_windows** — a one-way burst workload (active sender shard, passive
+  receiver shard) under adaptive horizons: the receiver's worker must be
+  skipped — no wake, no reply — for the windows where it has neither
+  inbound nor local events, with results bit-identical to ``workers=1``.
+* **events_ladder** — events/s of a 4-ring independent fig6 point at
+  ``workers`` 1, 2 and 4, each rung recorded only when that many cores are
+  actually available (a rung above the core count measures contention, not
+  the engine).
 
 Run from the repository root:
 
@@ -283,6 +298,142 @@ def _build_burst_shard(index: int) -> _BurstHarness:
     return _BurstHarness(env, actor)
 
 
+class _OneWayReceiver(Actor):
+    """Passive sink: logs receipts, never schedules or sends anything."""
+
+    def __init__(self, env, name, site):
+        super().__init__(env, name, site)
+        self.received = []
+
+    def on_message(self, sender, message):
+        self.received.append((round(self.now, 9), message["burst"], message["index"]))
+
+
+def _build_oneway_shard(index: int) -> _BurstHarness:
+    topo = Topology(local_latency=0.00005, local_bandwidth_bps=10e9)
+    topo.add_site("s0")
+    topo.add_site("s1")
+    topo.set_link("s0", "s1", one_way_latency=BURST_LATENCY, bandwidth_bps=1e9)
+    env = Environment(seed=13)
+    Network(env, topo, jitter_fraction=0.0)
+    if index == 0:
+        actor = _BurstActor(env, "burst0", "s0", "sink1")
+    else:
+        actor = _OneWayReceiver(env, "sink1", "s1")
+    return _BurstHarness(env, actor)
+
+
+# ---------------------------------------------------------------------------
+# Barrier-plane round 2: wire codec bytes, merge overlap, skip windows
+# ---------------------------------------------------------------------------
+
+#: The fig6 smoke point the codec acceptance is measured on — the same
+#: windows the differential suite uses, so the byte counts are pinned by a
+#: deterministic simulation.
+OVERHEAD_WARMUP = 0.2
+OVERHEAD_DURATION = 0.6
+
+
+def _measure_barrier_overhead():
+    """Codec vs legacy IPC volume and merge overlap on the fig6 smoke point."""
+    runs = {}
+    for codec in (True, False):
+        runs[codec] = run_fig6_sharded(
+            RING_COUNT,
+            workers=2,
+            warmup=OVERHEAD_WARMUP,
+            duration=OVERHEAD_DURATION,
+            configuration="shared",
+            wire_codec=codec,
+        ).metrics
+    per_barrier = {
+        codec: metrics["ipc_bytes"] / max(metrics["barrier_count"], 1.0)
+        for codec, metrics in runs.items()
+    }
+    return {
+        "point": (
+            f"fig6 shared ({RING_COUNT} log rings + common ring), workers=2, "
+            f"warmup {OVERHEAD_WARMUP}s, duration {OVERHEAD_DURATION}s"
+        ),
+        "barrier_count": int(runs[True]["barrier_count"]),
+        "wire_codec": {
+            "ipc_bytes": int(runs[True]["ipc_bytes"]),
+            "ipc_messages": int(runs[True]["ipc_messages"]),
+            "ipc_bytes_per_barrier": round(per_barrier[True], 1),
+        },
+        "legacy": {
+            "ipc_bytes": int(runs[False]["ipc_bytes"]),
+            "ipc_messages": int(runs[False]["ipc_messages"]),
+            "ipc_bytes_per_barrier": round(per_barrier[False], 1),
+        },
+        "ipc_bytes_reduction": round(1.0 - per_barrier[True] / per_barrier[False], 4),
+        "merge_overlap_s": round(runs[True]["merge_overlap_s"], 4),
+        "merge_overlap_fraction": round(runs[True]["merge_overlap_fraction"], 4),
+        "note": (
+            "byte counts are deterministic for the fixed seed (the perf "
+            "guard pins them); overlap is wall-clock measured and machine-"
+            "dependent"
+        ),
+    }
+
+
+def _measure_skip_windows():
+    """Horizon-aware scheduling on a one-way burst workload, workers 1 vs 2."""
+    runs = {
+        workers: run_sharded(
+            [ShardSpec(i, _build_oneway_shard, i) for i in range(2)],
+            until=BURST_UNTIL,
+            workers=workers,
+            lookahead=BURST_LATENCY,
+            horizon="adaptive",
+        )
+        for workers in (1, 2)
+    }
+    return {
+        "workload": (
+            f"one-way: {BURST_COUNT} bursts of {BURST_SIZE} messages to a "
+            f"passive receiver shard, {BURST_GAP}s idle between bursts"
+        ),
+        "windows": runs[2].windows,
+        "worker_windows_skipped": runs[2].worker_windows_skipped,
+        "results_identical": runs[1].results == runs[2].results,
+        "note": (
+            "a skipped window is a pure no-op for an idle worker: no wake, "
+            "no reply frame; the in-process workers=1 engine never skips and "
+            "anchors the result comparison"
+        ),
+    }
+
+
+LADDER_RINGS = 4
+
+
+def _measure_events_ladder(warmup: float, duration: float, repeats: int, cores: int):
+    """Events/s of a 4-ring independent point at workers 1/2/4 (cores allowing)."""
+    ladder = {}
+    for workers in (1, 2, 4):
+        if workers > 1 and cores < workers:
+            ladder[str(workers)] = {"skipped": f"needs >= {workers} cores, have {cores}"}
+            continue
+        best = None
+        events = 0
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = run_fig6_sharded(
+                LADDER_RINGS, workers=workers, warmup=warmup, duration=duration
+            )
+            elapsed = time.perf_counter() - t0
+            if best is None or elapsed < best:
+                best = elapsed
+            events = int(result.metrics["events_total"])
+        ladder[str(workers)] = {
+            "wall_clock_s": round(best, 4),
+            "events_per_s": round(events / best) if best else 0,
+        }
+    ladder["simulated_events"] = events
+    return ladder
+
+
 def _measure_barriers():
     """Barrier counts (and result parity) of fixed vs adaptive horizons."""
     runs = {}
@@ -328,6 +479,11 @@ def main() -> int:
     shared_identical = _verify_determinism(0.2, 0.6, "shared")
     reactive_shared = _measure_reactive_shared(0.2, 0.8 if args.smoke else 2.0)
     faulted = _measure_faulted_determinism(0.2, 1.0 if args.smoke else 2.5)
+    overhead = _measure_barrier_overhead()
+    skip_windows = _measure_skip_windows()
+    ladder = _measure_events_ladder(
+        0.2, 0.6 if args.smoke else 2.0, repeats, cores
+    )
 
     payload = {
         "benchmark": "fig6 2-ring point, one shard per ring (independent rings)",
@@ -342,6 +498,9 @@ def main() -> int:
         "barrier_count": barrier,
         "reactive_shared": reactive_shared,
         "faulted_determinism": faulted,
+        "barrier_overhead": overhead,
+        "skip_windows": skip_windows,
+        "events_ladder": ladder,
     }
     if insufficient_cores:
         # A 2-worker run on a 1-core box measures process overhead, not the
@@ -402,6 +561,33 @@ def main() -> int:
         print(
             f"FAIL: adaptive horizons did not reduce barriers "
             f"({barrier['adaptive']} vs {barrier['fixed']})",
+            file=sys.stderr,
+        )
+        failed = True
+    if overhead["ipc_bytes_reduction"] < 0.30:
+        print(
+            f"FAIL: wire codec cut only {overhead['ipc_bytes_reduction']:.1%} "
+            "of IPC bytes per barrier (>= 30% required)",
+            file=sys.stderr,
+        )
+        failed = True
+    if not insufficient_cores and overhead["merge_overlap_fraction"] <= 0.0:
+        print(
+            "FAIL: no merge-stage time overlapped with worker execution on "
+            "the reactive shared configuration",
+            file=sys.stderr,
+        )
+        failed = True
+    if skip_windows["worker_windows_skipped"] <= 0:
+        print(
+            "FAIL: the idle receiver worker was never skipped on the "
+            "one-way burst workload",
+            file=sys.stderr,
+        )
+        failed = True
+    if not skip_windows["results_identical"]:
+        print(
+            "FAIL: skip-window run diverged from the workers=1 reference",
             file=sys.stderr,
         )
         failed = True

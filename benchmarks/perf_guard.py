@@ -1,21 +1,39 @@
 #!/usr/bin/env python
 """Performance guard: fail when key benchmark numbers regress.
 
-Compares the freshly written ``BENCH_kernel.json`` against the committed
-baseline (``git show <ref>:BENCH_kernel.json``, default ``HEAD``) and exits
-non-zero when either guarded metric drops more than the tolerance below its
-baseline:
+Compares freshly written benchmark files against their committed baselines
+(``git show <ref>:<file>``, default ``HEAD``) and exits non-zero on a
+regression.
+
+``BENCH_kernel.json`` — wall-clock metrics, guarded with a loose 20%
+tolerance floor (shared CI runners are noisy; the guard is meant to catch
+real regressions, not wobble):
 
 * ``micro.speedup`` — fast kernel events/s over the seed-snapshot kernel.
   A ratio, so it is robust to the absolute speed of the CI machine.
 * ``batched.batched.commands_per_wall_s`` — ordered commands per wall-clock
   second with the full batching path on.
 
-The tolerance is deliberately loose (20%): shared CI runners are noisy and
-the guard is meant to catch real regressions (an accidental fallback onto a
-slow path, a lost fast lane), not wobble.  Run from the repository root:
+``BENCH_parallel.json`` — *deterministic* barrier-plane fields.  IPC byte
+counts are fixed by the seed, not the machine, so the ceiling is tight
+(+20% headroom covers intentional protocol growth, nothing else) and the
+invariants are exact:
+
+* ``barrier_overhead.wire_codec.ipc_bytes_per_barrier`` must stay at or
+  below baseline * 1.20 (a *ceiling* — lower is better, unlike the
+  wall-clock floors above);
+* ``barrier_overhead.ipc_bytes_reduction`` must stay >= 0.30 (the compact
+  codec's acceptance bar vs legacy pickling);
+* ``barrier_count.adaptive`` must stay strictly below ``barrier_count.fixed``
+  (adaptive horizons earn their keep);
+* ``skip_windows.worker_windows_skipped`` must stay > 0 (horizon-aware
+  scheduling actually skips the idle worker).
+
+Fields missing from the committed baseline are skipped gracefully, so the
+guard works on the PR that introduces them.  Run from the repository root:
 
     PYTHONPATH=src python benchmarks/bench_kernel.py --smoke
+    PYTHONPATH=src python benchmarks/bench_parallel.py --smoke
     python benchmarks/perf_guard.py
 """
 
@@ -36,8 +54,21 @@ GUARDED = (
     (("batched", "batched", "commands_per_wall_s"), "batched commands per wall-second"),
 )
 
-#: Maximum tolerated drop below the committed baseline.
+#: Ceiling-guarded deterministic metrics of BENCH_parallel.json:
+#: (json path, human label).  Lower is better; current must stay at or below
+#: baseline * (1 + TOLERANCE).
+PARALLEL_CEILINGS = (
+    (
+        ("barrier_overhead", "wire_codec", "ipc_bytes_per_barrier"),
+        "wire-codec IPC bytes per barrier (fig6 smoke point)",
+    ),
+)
+
+#: Maximum tolerated drop below (floors) / rise above (ceilings) baseline.
 TOLERANCE = 0.20
+
+#: The codec's acceptance bar: IPC bytes per barrier vs legacy pickling.
+MIN_CODEC_REDUCTION = 0.30
 
 
 def _dig(payload: Dict[str, Any], path: Tuple[str, ...]) -> Optional[float]:
@@ -49,10 +80,10 @@ def _dig(payload: Dict[str, Any], path: Tuple[str, ...]) -> Optional[float]:
     return float(node) if isinstance(node, (int, float)) else None
 
 
-def _committed_baseline(ref: str) -> Optional[Dict[str, Any]]:
+def _committed_baseline(ref: str, name: str = "BENCH_kernel.json") -> Optional[Dict[str, Any]]:
     try:
         out = subprocess.run(
-            ["git", "show", f"{ref}:BENCH_kernel.json"],
+            ["git", "show", f"{ref}:{name}"],
             capture_output=True,
             text=True,
             cwd=REPO_ROOT,
@@ -63,6 +94,72 @@ def _committed_baseline(ref: str) -> Optional[Dict[str, Any]]:
         return None
 
 
+def _guard_parallel(args: argparse.Namespace) -> bool:
+    """Guard BENCH_parallel.json's deterministic fields; True on failure.
+
+    A missing current file only warns (the kernel bench may be guarded on
+    its own), and a baseline without the round-2 fields skips the ceiling —
+    the invariants below still run, because they need no baseline at all.
+    """
+    try:
+        with open(args.parallel) as fh:
+            current = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"perf-guard: cannot read {args.parallel} ({exc}); skipping parallel guard")
+        return False
+
+    failed = False
+    baseline = _committed_baseline(args.baseline, "BENCH_parallel.json")
+    for path, label in PARALLEL_CEILINGS:
+        cur = _dig(current, path)
+        base = _dig(baseline, path) if baseline else None
+        name = ".".join(path)
+        if cur is None or base is None:
+            print(f"perf-guard: {name}: missing on one side (base={base}, current={cur}); skipping")
+            continue
+        ceiling = base * (1.0 + TOLERANCE)
+        verdict = "ok" if cur <= ceiling else "REGRESSED"
+        print(
+            f"perf-guard: {label}: current {cur:,.1f} vs baseline {base:,.1f} "
+            f"(ceiling {ceiling:,.1f}) -> {verdict}"
+        )
+        if cur > ceiling:
+            failed = True
+
+    reduction = _dig(current, ("barrier_overhead", "ipc_bytes_reduction"))
+    if reduction is not None:
+        verdict = "ok" if reduction >= MIN_CODEC_REDUCTION else "REGRESSED"
+        print(
+            f"perf-guard: wire-codec IPC reduction vs legacy: {reduction:.1%} "
+            f"(minimum {MIN_CODEC_REDUCTION:.0%}) -> {verdict}"
+        )
+        if reduction < MIN_CODEC_REDUCTION:
+            failed = True
+
+    adaptive = _dig(current, ("barrier_count", "adaptive"))
+    fixed = _dig(current, ("barrier_count", "fixed"))
+    if adaptive is not None and fixed is not None:
+        verdict = "ok" if adaptive < fixed else "REGRESSED"
+        print(
+            f"perf-guard: adaptive barriers {adaptive:,.0f} vs fixed "
+            f"{fixed:,.0f} (must be strictly fewer) -> {verdict}"
+        )
+        if adaptive >= fixed:
+            failed = True
+
+    skipped = _dig(current, ("skip_windows", "worker_windows_skipped"))
+    if skipped is not None:
+        verdict = "ok" if skipped > 0 else "REGRESSED"
+        print(
+            f"perf-guard: skipped idle-worker windows: {skipped:,.0f} "
+            f"(must be > 0) -> {verdict}"
+        )
+        if skipped <= 0:
+            failed = True
+
+    return failed
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -71,7 +168,12 @@ def main() -> int:
     parser.add_argument(
         "--current",
         default=os.path.join(REPO_ROOT, "BENCH_kernel.json"),
-        help="path of the freshly written benchmark file",
+        help="path of the freshly written kernel benchmark file",
+    )
+    parser.add_argument(
+        "--parallel",
+        default=os.path.join(REPO_ROOT, "BENCH_parallel.json"),
+        help="path of the freshly written parallel benchmark file",
     )
     args = parser.parse_args()
 
@@ -82,27 +184,28 @@ def main() -> int:
         print(f"perf-guard: cannot read {args.current}: {exc}")
         return 2
 
+    failed = False
     baseline = _committed_baseline(args.baseline)
     if baseline is None:
         print(f"perf-guard: no committed BENCH_kernel.json at {args.baseline}; skipping")
-        return 0
+    else:
+        for path, label in GUARDED:
+            base = _dig(baseline, path)
+            cur = _dig(current, path)
+            name = ".".join(path)
+            if base is None or cur is None:
+                print(f"perf-guard: {name}: missing on one side (base={base}, current={cur}); skipping")
+                continue
+            floor = base * (1.0 - TOLERANCE)
+            verdict = "ok" if cur >= floor else "REGRESSED"
+            print(
+                f"perf-guard: {label}: current {cur:,.2f} vs baseline {base:,.2f} "
+                f"(floor {floor:,.2f}) -> {verdict}"
+            )
+            if cur < floor:
+                failed = True
 
-    failed = False
-    for path, label in GUARDED:
-        base = _dig(baseline, path)
-        cur = _dig(current, path)
-        name = ".".join(path)
-        if base is None or cur is None:
-            print(f"perf-guard: {name}: missing on one side (base={base}, current={cur}); skipping")
-            continue
-        floor = base * (1.0 - TOLERANCE)
-        verdict = "ok" if cur >= floor else "REGRESSED"
-        print(
-            f"perf-guard: {label}: current {cur:,.2f} vs baseline {base:,.2f} "
-            f"(floor {floor:,.2f}) -> {verdict}"
-        )
-        if cur < floor:
-            failed = True
+    failed = _guard_parallel(args) or failed
 
     return 1 if failed else 0
 

@@ -977,6 +977,8 @@ def _run_amcast_sharded(
             shard_id=index,
             build=_build_amcast_shard,
             payload=_split_amcast_spec(spec, component, active_end, merge_learners),
+            # Balance workers by component size (rings per shard).
+            weight=float(len(component)),
         )
         for index, component in enumerate(components)
     ]

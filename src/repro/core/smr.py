@@ -28,6 +28,7 @@ are still running.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..net.message import ClientRequest, ClientResponse
@@ -418,6 +419,12 @@ class ReactiveReplicaHost:
             on_deliver=self._apply,
             retain_history=retain_history,
         )
+        #: wall-clock seconds spent inside :meth:`ingest` (cursor feed plus
+        #: replica application) — the per-host share of the merge stage, so
+        #: overlap accounting can attribute ingest cost to hosts
+        self.ingest_seconds = 0.0
+        #: barriers fed through :meth:`ingest`
+        self.barriers_ingested = 0
 
     # ----------------------------------------------------------------- input
     def ingest(
@@ -439,6 +446,7 @@ class ReactiveReplicaHost:
         to the replica before this returns.  Returns the number of
         deliveries applied.
         """
+        started = perf_counter()
         # Advance the covered marks (and settle the stall bookkeeping)
         # *before* feeding entries, so deliveries applied at the healing
         # barrier already see the closed stall window.
@@ -454,7 +462,10 @@ class ReactiveReplicaHost:
                     self._stall_windows.append(window)
                     self._stall.record(window[1] - window[0])
                     self._stall_open = None
-        return len(self._cursor.feed_segments(segments))
+        applied = len(self._cursor.feed_segments(segments))
+        self.barriers_ingested += 1
+        self.ingest_seconds += perf_counter() - started
+        return applied
 
     def _apply(self, group_id: int, instance: int, value: ProposalValue) -> None:
         self.replica.on_deliver(group_id, instance, value)

@@ -53,6 +53,7 @@ from typing import (
 
 from ..paxos.messages import SKIP, ProposalValue
 from ..ringpaxos.coordinator import PackedValues
+from ..sim.network import register_wire_reducer
 
 
 def _iter_leaf_values(value: ProposalValue):
@@ -109,7 +110,7 @@ class MergeDivergenceError(ValueError):
     """
 
 
-@dataclass
+@dataclass(slots=True)
 class RingSegment:
     """One ring's decision-stream slice, tagged for crash-safe streaming.
 
@@ -134,6 +135,89 @@ class RingSegment:
     incarnation: int = 0
     start: int = 0
     entries: List[Tuple[int, ProposalValue]] = field(default_factory=list)
+
+
+# Segments are the bulk of barrier traffic in streaming-merge runs, and their
+# entry lists are extremely regular: instances are consecutive (learners record
+# every instance in order) and rate-leveled skips arrive in bursts of
+# field-identical ``ProposalValue(SKIP, ...)`` records.  The wire form exploits
+# both: it splits ``entries`` into an instance column (a single start instance
+# when consecutive, the common case) and a value column, and run-length
+# encodes equal skip runs.  Decoding expands runs into *fresh* ``ProposalValue``
+# instances, so receivers see the same no-aliasing object graph legacy
+# pickling produced.
+
+#: Shortest equal-skip run worth a ``(count, value)`` marker.  Below this the
+#: per-run tuple overhead exceeds the interned-skip back-reference it replaces.
+_SEGMENT_RUN_MIN = 3
+
+
+def _segment_wire_reduce(segment: "RingSegment"):
+    """Pickle reduce hook: ``RingSegment`` → columnar, skip-run-compressed form."""
+    entries = segment.entries
+    count = len(entries)
+    instances: Union[int, Tuple[int, ...]] = 0
+    if count:
+        first = entries[0][0]
+        if all(inst == first + idx for idx, (inst, _) in enumerate(entries)):
+            instances = first
+        else:
+            instances = tuple(inst for inst, _ in entries)
+    packed: List[Union[ProposalValue, Tuple[int, ProposalValue]]] = []
+    idx = 0
+    while idx < count:
+        value = entries[idx][1]
+        end = idx + 1
+        if value.is_skip():
+            while end < count and entries[end][1] == value:
+                end += 1
+        if end - idx >= _SEGMENT_RUN_MIN:
+            packed.append((end - idx, value))
+        else:
+            packed.extend(entry[1] for entry in entries[idx:end])
+        idx = end
+    return _segment_wire_build, (
+        segment.incarnation,
+        segment.start,
+        instances,
+        count,
+        tuple(packed),
+    )
+
+
+def _segment_wire_build(
+    incarnation: int,
+    start: int,
+    instances: Union[int, Tuple[int, ...]],
+    count: int,
+    packed: Tuple[Union[ProposalValue, Tuple[int, ProposalValue]], ...],
+) -> "RingSegment":
+    """Rebuild a :class:`RingSegment` from its compressed wire form."""
+    values: List[ProposalValue] = []
+    for item in packed:
+        if type(item) is tuple:
+            run, value = item
+            values.append(value)
+            for _ in range(run - 1):
+                values.append(
+                    ProposalValue(
+                        value.payload,
+                        value.size_bytes,
+                        value.proposer,
+                        value.proposal_id,
+                        value.created_at,
+                    )
+                )
+        else:
+            values.append(item)
+    if type(instances) is tuple:
+        entries = list(zip(instances, values))
+    else:
+        entries = list(zip(range(instances, instances + count), values))
+    return RingSegment(incarnation=incarnation, start=start, entries=entries)
+
+
+register_wire_reducer(RingSegment, _segment_wire_reduce)
 
 
 #: What ``feed_segments`` accepts per ring: a tagged segment or a bare

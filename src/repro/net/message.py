@@ -21,6 +21,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, ClassVar, List, Optional, Sequence
 
+from ..sim.network import register_wire_type
+
 __all__ = ["Message", "Batch", "ClientRequest", "ClientResponse", "next_message_id"]
 
 _message_ids = itertools.count(1)
@@ -103,3 +105,12 @@ class Batch(Message):
 
     def __iter__(self):
         return iter(self.messages)
+
+
+# Cross-shard wire registration: these classes dominate barrier traffic in
+# sharded runs, so they ship in positional tuple form (field order frozen
+# here, cached ``size_bytes`` included) instead of generic dataclass pickling.
+register_wire_type(Message)
+register_wire_type(ClientRequest)
+register_wire_type(ClientResponse)
+register_wire_type(Batch)

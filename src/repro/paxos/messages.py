@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
 
 from ..net.message import Message
+from ..sim.network import register_wire_type
 
 __all__ = [
     "ProposalValue",
@@ -321,3 +322,22 @@ class CheckpointReply(Message):
         if self.includes_state:
             self.payload_bytes = self.state_size_bytes
         self.size_bytes = self.payload_bytes + self.OVERHEAD_BYTES
+
+
+# Cross-shard wire registration (see :func:`repro.sim.network.register_wire_type`).
+# ``_Skip`` is deliberately *not* registered: its ``__reduce__`` pickles by
+# reference so ``payload is SKIP`` identity survives the process boundary —
+# positional rebuild would mint a second sentinel instance.
+register_wire_type(ProposalValue)
+register_wire_type(ValueForward)
+register_wire_type(Phase1A)
+register_wire_type(Phase1B)
+register_wire_type(Phase2Ring)
+register_wire_type(Decision)
+register_wire_type(RetransmitRequest)
+register_wire_type(RetransmitReply)
+register_wire_type(TrimQuery)
+register_wire_type(TrimReport)
+register_wire_type(TrimCommand)
+register_wire_type(CheckpointRequest)
+register_wire_type(CheckpointReply)

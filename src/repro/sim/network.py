@@ -44,7 +44,9 @@ differential tests and the kernel benchmark.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import io
+import pickle
+from dataclasses import dataclass, fields as dataclass_fields
 from heapq import heappush
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -52,7 +54,17 @@ from .actor import Environment
 from .kernel import SimulationError
 from .topology import Topology
 
-__all__ = ["Network", "MessageStats", "RemoteMessage", "message_size"]
+__all__ = [
+    "Network",
+    "MessageStats",
+    "RemoteMessage",
+    "message_size",
+    "register_wire_type",
+    "register_wire_reducer",
+    "wire_fields",
+    "encode_wire",
+    "decode_wire",
+]
 
 #: One cross-shard message as it travels through a gateway outbox:
 #: ``(delivery_time, src_actor, dst_actor, message)``.  The delivery time is
@@ -84,6 +96,147 @@ def message_size(message: Any, default: int = 128) -> int:
     except AttributeError:
         _UNSIZED_TYPES.add(message.__class__)
         return default
+
+
+# --------------------------------------------------------------- wire codec
+#
+# Cross-shard traffic (see :mod:`repro.sim.parallel`) is pickled once per
+# worker per barrier round.  Generic pickling of the protocol dataclasses is
+# wasteful: every slotted dataclass instance ships its class-resolution
+# machinery *and* a per-instance state dict (``{'field': value, ...}``) whose
+# key strings repeat for every message in the window.  The wire codec strips
+# that down to a positional tuple per instance:
+#
+#     (_wire_build, (cls, (value0, value1, ...)))
+#
+# Classes opt in with :func:`register_wire_type` (typically right below their
+# definition); the field order is frozen at registration, so both sides of a
+# pipe agree on the tuple layout by construction — the class itself travels
+# by reference (module + qualname, memoized once per ``dumps``), which keeps
+# the encoding independent of registration order across processes.  Decoding
+# is plain ``pickle.loads``: ``_wire_build`` reconstructs the instance with
+# ``object.__new__`` + ``__setattr__``, deliberately skipping ``__init__`` /
+# ``__post_init__`` (cached derived fields such as ``size_bytes`` are part of
+# the registered field tuple and restored verbatim).
+#
+# Payload interning falls out of the pickle memo: identical *objects* repeated
+# across messages of one window (ring forwarding re-ships the same ``Decision``
+# value to every successor) are encoded once and referenced thereafter,
+# because the whole window is one ``dumps`` call.
+#
+# Objects of unregistered classes pickle exactly as before (the C pickler's
+# ``reducer_override`` hook returns ``NotImplemented`` and the default path
+# takes over), so the codec is transparently safe for arbitrary payloads.
+
+#: Registered wire classes → their frozen positional field order.
+_WIRE_FIELDS: Dict[type, Tuple[str, ...]] = {}
+
+#: Classes with a bespoke wire form → their reduce hook.  Checked before the
+#: positional-tuple path, so a class may upgrade from :func:`register_wire_type`
+#: to a custom reducer without touching call sites.
+_WIRE_REDUCERS: Dict[type, Any] = {}
+
+
+def register_wire_reducer(cls: type, reduce_fn: Any) -> type:
+    """Register a bespoke wire reduction for ``cls``.
+
+    ``reduce_fn(obj)`` must return a pickle-style ``(callable, args)`` pair
+    whose callable is an importable module-level function (it travels by
+    reference).  Use this when a class benefits from structure-aware encoding
+    beyond the generic positional tuple — e.g. run-length compression of
+    repetitive collections.  Decoding stays plain ``pickle.loads``.
+    """
+    _WIRE_REDUCERS[cls] = reduce_fn
+    return cls
+
+
+def register_wire_type(cls: type, field_names: Optional[Sequence[str]] = None) -> type:
+    """Register ``cls`` for compact positional encoding on the shard wire.
+
+    ``field_names`` defaults to the dataclass field order (including
+    ``init=False`` fields such as cached sizes).  Returns ``cls`` so it can be
+    used as a decorator.  Classes with custom ``__reduce__`` semantics (e.g.
+    singleton sentinels) must *not* be registered — positional rebuild would
+    break their identity contract.
+    """
+    if field_names is None:
+        names = tuple(f.name for f in dataclass_fields(cls))
+    else:
+        names = tuple(field_names)
+    _WIRE_FIELDS[cls] = names
+    return cls
+
+
+def wire_fields(cls: type) -> Optional[Tuple[str, ...]]:
+    """The registered positional field order of ``cls`` (``None`` if unregistered)."""
+    return _WIRE_FIELDS.get(cls)
+
+
+def _wire_build(cls: type, values: Tuple[Any, ...]) -> Any:
+    """Rebuild a registered instance from its positional field tuple."""
+    names = _WIRE_FIELDS.get(cls)
+    if names is None:
+        # The defining module registered the class at import time and the
+        # class arrived by reference, so this only triggers for a class
+        # registered with an explicit field list in some *other* module that
+        # the decoding process has not imported.  Dataclass order is the
+        # documented default, so fall back to it (and memoize).
+        names = tuple(f.name for f in dataclass_fields(cls))
+        _WIRE_FIELDS[cls] = names
+    obj = object.__new__(cls)
+    setattr_ = object.__setattr__
+    for name, value in zip(names, values):
+        setattr_(obj, name, value)
+    return obj
+
+
+class _WirePickler(pickle.Pickler):
+    """Pickler whose reducer hook swaps registered classes to tuple form.
+
+    Beyond the identity interning the pickle memo already provides, the
+    reducer interns the ``(cls, values)`` argument tuple of *equal* instances
+    whose fields are all hashable: the second equal instance encodes as a
+    back-reference to the first one's argument tuple (a few bytes) instead of
+    repeating every field.  Rate-leveled skip streams are the extreme case —
+    thousands of distinct-but-equal ``ProposalValue(SKIP, ...)`` records per
+    segment.  Decoding still constructs a fresh instance per ``REDUCE``, so
+    object identity on the receiving side is exactly what legacy pickling
+    produced (no aliasing of mutable protocol messages).
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._interned: Dict[Tuple[type, Tuple[Any, ...]], Tuple[Any, ...]] = {}
+
+    def reducer_override(self, obj: Any) -> Any:  # noqa: D102 - pickle hook
+        cls = obj.__class__
+        reduce_fn = _WIRE_REDUCERS.get(cls)
+        if reduce_fn is not None:
+            return reduce_fn(obj)
+        names = _WIRE_FIELDS.get(cls)
+        if names is None:
+            return NotImplemented
+        values = tuple(getattr(obj, name) for name in names)
+        try:
+            key = (cls, values)
+            args = self._interned.get(key)
+            if args is None:
+                self._interned[key] = args = key
+        except TypeError:  # unhashable field (lists, batches): no interning
+            args = (cls, values)
+        return _wire_build, args
+
+
+def encode_wire(payload: Any) -> bytes:
+    """Encode one barrier window's payload as a compact pickle-5 frame."""
+    buffer = io.BytesIO()
+    _WirePickler(buffer, protocol=pickle.HIGHEST_PROTOCOL).dump(payload)
+    return buffer.getvalue()
+
+
+def decode_wire(frame: bytes) -> Any:
+    """Decode a frame produced by :func:`encode_wire` (plain ``pickle.loads``)."""
+    return pickle.loads(frame)
 
 
 @dataclass

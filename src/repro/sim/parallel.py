@@ -73,6 +73,49 @@ cross-shard message exists to be late, and the event schedule is untouched
 (windowed execution runs the exact same events as a single window).  See
 :mod:`repro.multiring.sharding` and :mod:`repro.bench.parallel`.
 
+Barrier-plane mechanics (round 2)
+---------------------------------
+The multiprocess transport is engineered so the synchronisation itself stays
+off the critical path without ever touching the event schedule:
+
+* **Compact wire framing** — each worker's barrier traffic is one
+  ``encode_wire`` frame per round (:func:`repro.sim.network.encode_wire`:
+  highest-protocol pickle with registered protocol dataclasses in positional
+  tuple form and window-level payload interning via the pickle memo).  A
+  window broadcast to a worker with no inbound messages is the bare
+  two-tuple ``("window", end)`` — no per-shard dict is allocated or shipped.
+  ``ParallelRunResult.ipc_bytes``/``ipc_messages`` count both directions as
+  framed on the pipes; ``wire_codec=False`` falls back to default-protocol
+  pickling of the identical payloads (the codec differential test's
+  baseline).
+* **Overlapped merge stage** — barrier segments are double-buffered: the
+  parent broadcasts window ``N+1`` *before* feeding window ``N``'s segments
+  to ``segment_sink``, so reactive ingest runs while the workers execute.
+  Segments are still applied strictly in barrier order and, as before, the
+  sink for window ``N`` completes before any window-``N+1`` segment is even
+  decoded — consumer state (``MergeCursor``/``ReactiveReplicaHost``) sees
+  the exact sequence the serial engine produced.  ``merge_stage_s`` measures
+  sink time wherever it runs; ``merge_overlap_s`` is the (conservatively
+  credited) portion spent while at least one worker was still executing,
+  i.e. ingest time that no longer extends the wall clock.
+* **Horizon-aware skips** — in adaptive mode with a lookahead and no
+  streaming sink, a worker whose every shard reported a horizon strictly
+  beyond the window end and that has no inbound messages is not woken at
+  all: an empty window is a pure no-op (the kernel executes nothing, sends
+  nothing, cuts nothing), and ``run_window`` is monotonic, so the worker's
+  next real window catches it up identically.  The worker owning the global
+  event frontier always has ``horizon <= end`` and therefore always runs
+  (no livelock), and the final window (``end == until``) is never skipped,
+  so harness scripts keyed on reaching the horizon still complete.  Skips
+  are counted in ``worker_windows_skipped``.
+* **Out-of-order collection** — replies are absorbed as workers finish
+  (``multiprocessing.connection.wait``) instead of in fixed pipe order, so
+  decoding early finishers overlaps the stragglers and a worker that dies
+  mid-window surfaces immediately as an error naming the worker and its
+  shards (its pipe hits EOF) rather than hanging the round.  Outboxes are
+  still routed by :func:`_route_outbound`'s canonical ascending-shard order
+  afterwards, so injection stays independent of arrival order.
+
 Usage sketch::
 
     def build(payload):                      # top-level → picklable
@@ -91,13 +134,15 @@ the ``finalize()`` summaries do).
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import time
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .actor import Environment
 from .kernel import SimulationError
-from .network import RemoteMessage
+from .network import RemoteMessage, encode_wire
 
 __all__ = [
     "ShardHarness",
@@ -216,11 +261,18 @@ class ShardSpec:
     ``build(payload)`` runs inside the worker process and returns the shard's
     :class:`ShardHarness`.  The builder must be a module-level callable so the
     spec can cross the ``multiprocessing`` boundary.
+
+    ``weight`` is the shard's expected relative load (e.g. its actor or
+    client count, see :func:`repro.multiring.sharding.plan_shards`): the
+    engine balances shards over workers by weight, heaviest first, so one
+    heavyweight shard does not share a worker with others while a peer
+    worker sits near idle.
     """
 
     shard_id: int
     build: Callable[[Any], ShardHarness]
     payload: Any = None
+    weight: float = 1.0
 
 
 @dataclass
@@ -241,6 +293,17 @@ class ParallelRunResult:
     workers: int = 1
     #: barrier protocol used ("adaptive" or "fixed"; windowed runs only)
     horizon: str = "adaptive"
+    #: bytes framed onto the worker pipes, both directions (0 in-process)
+    ipc_bytes: int = 0
+    #: frames exchanged with the workers, both directions (0 in-process)
+    ipc_messages: int = 0
+    #: seconds spent inside ``segment_sink`` (reactive merge ingest)
+    merge_stage_s: float = 0.0
+    #: portion of :attr:`merge_stage_s` that ran while workers were still
+    #: executing the next window (overlapped, i.e. off the critical path)
+    merge_overlap_s: float = 0.0
+    #: windows a worker was not woken for (horizon beyond the window end)
+    worker_windows_skipped: int = 0
 
     @property
     def total_events(self) -> int:
@@ -251,6 +314,13 @@ class ParallelRunResult:
     def barrier_count(self) -> int:
         """Alias of :attr:`windows`, the number of barriers executed."""
         return self.windows
+
+    @property
+    def merge_overlap_fraction(self) -> float:
+        """Fraction of merge-stage time hidden behind worker execution."""
+        if self.merge_stage_s <= 0.0:
+            return 0.0
+        return self.merge_overlap_s / self.merge_stage_s
 
 
 # ---------------------------------------------------------------------------
@@ -325,27 +395,43 @@ class _ShardSet:
         return {sid: h.finalize() for sid, h in self.harnesses.items()}
 
 
-def _worker_main(conn, specs: Sequence[ShardSpec]) -> None:
-    """Entry point of one worker process: build shards, serve barrier rounds."""
+#: Shared empty inbound map for the ``("window", end)`` fast path — windows
+#: with no inbound traffic allocate nothing on either side of the pipe.
+_NO_INBOUND: Dict[int, List[RemoteMessage]] = {}
+
+
+def _worker_main(conn, specs: Sequence[ShardSpec], wire_codec: bool = True) -> None:
+    """Entry point of one worker process: build shards, serve barrier rounds.
+
+    Frames every reply as one explicit byte blob (``send_bytes``) so the
+    parent can count IPC volume exactly; the payload encoding is the compact
+    wire codec (default) or plain default-protocol pickling (the codec
+    differential's legacy baseline).
+    """
+    dumps = encode_wire if wire_codec else pickle.dumps
+    loads = pickle.loads
     try:
         shard_set = _ShardSet(specs)
-        conn.send(("ready", shard_set.actor_sites()))
+        conn.send_bytes(dumps(("ready", shard_set.actor_sites())))
         while True:
-            command = conn.recv()
+            command = loads(conn.recv_bytes())
             op = command[0]
-            if op == "routes":
+            if op == "window":
+                # ("window", end) is the empty fast path: no inbound dict on
+                # the wire, none allocated here.
+                inbound = command[2] if len(command) > 2 else _NO_INBOUND
+                outbound, events, horizons, segments = shard_set.run_window(
+                    command[1], inbound
+                )
+                conn.send_bytes(dumps(("out", outbound, events, horizons, segments)))
+            elif op == "routes":
                 shard_set.set_routes(command[1])
-                conn.send(("ok",))
+                conn.send_bytes(dumps(("ok",)))
             elif op == "start":
                 outbound, horizons, segments = shard_set.start()
-                conn.send(("out", outbound, {}, horizons, segments))
-            elif op == "window":
-                outbound, events, horizons, segments = shard_set.run_window(
-                    command[1], command[2]
-                )
-                conn.send(("out", outbound, events, horizons, segments))
+                conn.send_bytes(dumps(("out", outbound, {}, horizons, segments)))
             elif op == "finish":
-                conn.send(("result", shard_set.finalize()))
+                conn.send_bytes(dumps(("result", shard_set.finalize())))
                 return
             else:  # pragma: no cover - protocol bug
                 raise RuntimeError(f"unknown command {op!r}")
@@ -353,7 +439,7 @@ def _worker_main(conn, specs: Sequence[ShardSpec]) -> None:
         import traceback
 
         try:
-            conn.send(("error", f"{exc}\n{traceback.format_exc()}"))
+            conn.send_bytes(pickle.dumps(("error", f"{exc}\n{traceback.format_exc()}")))
         except Exception:  # pragma: no cover - parent already gone
             pass
 
@@ -431,6 +517,7 @@ def run_sharded(
     horizon: str = "adaptive",
     segment_interval: Optional[float] = None,
     segment_sink: Optional[Callable[[Dict[int, Any]], None]] = None,
+    wire_codec: bool = True,
 ) -> ParallelRunResult:
     """Execute shards under conservative barrier synchronisation.
 
@@ -445,8 +532,9 @@ def run_sharded(
     workers:
         Worker processes.  ``1`` runs every shard sequentially in-process —
         the *single-process reference engine* used by the differential tests;
-        higher counts fork workers and assign shards round-robin.  Clamped to
-        the shard count.
+        higher counts fork workers and balance shards over them by
+        :attr:`ShardSpec.weight`, heaviest first to the least-loaded worker.
+        Clamped to the shard count.
     lookahead:
         Safe window length in simulated seconds — must not exceed the minimum
         cross-shard message latency (see
@@ -478,7 +566,15 @@ def run_sharded(
         runs between windows — the place to feed a streaming merge cursor /
         reactive service replicas.  Shards are always presented in ascending
         id order downstream of the canonical routing, so the sink sees a
-        worker-count-independent sequence.
+        worker-count-independent sequence.  The sink for one barrier's
+        segments runs *while* the workers execute the next window (the
+        overlapped merge stage); the segment application order is untouched.
+    wire_codec:
+        Encode barrier traffic with the compact wire codec
+        (:func:`repro.sim.network.encode_wire`, the default) or with plain
+        default-protocol pickling.  Both encodings carry identical payloads
+        — ``False`` exists as the measured baseline of the codec
+        differential tests and benchmarks.
 
     Returns
     -------
@@ -504,17 +600,22 @@ def run_sharded(
             raise ValueError("segment_interval must be positive")
         if until is None:
             raise ValueError("segment streaming needs an explicit horizon (until=...)")
+    for spec in specs:
+        if spec.weight <= 0:
+            raise ValueError(
+                f"shard {spec.shard_id} has non-positive weight {spec.weight!r}"
+            )
     workers = max(1, min(int(workers), len(specs)))
 
     start = time.perf_counter()
     if workers == 1:
-        results, windows, cross, events = _run_inprocess(
+        results, windows, cross, events, stats = _run_inprocess(
             specs, until, lookahead, horizon, segment_interval, segment_sink
         )
     else:
-        results, windows, cross, events = _run_multiprocess(
+        results, windows, cross, events, stats = _run_multiprocess(
             specs, until, lookahead, horizon, workers, mp_context,
-            segment_interval, segment_sink,
+            segment_interval, segment_sink, wire_codec,
         )
     wall = time.perf_counter() - start
     return ParallelRunResult(
@@ -525,6 +626,7 @@ def run_sharded(
         events=events,
         workers=workers,
         horizon=horizon,
+        **stats,
     )
 
 
@@ -581,22 +683,47 @@ def _execute_rounds(
     horizon: str,
     segment_interval: Optional[float] = None,
     segment_sink: Optional[Callable[[Dict[int, Any]], None]] = None,
-) -> Tuple[int, int, Dict[int, int]]:
+) -> Tuple[int, int, Dict[int, int], float]:
     """Drive the barrier protocol over an abstract shard transport.
 
     ``transport`` provides ``start() -> (outbound, horizons, segments)`` and
-    ``window(end, inbound) -> (outbound, events, horizons, segments)``; the
-    in-process and multiprocessing engines differ only in how those rounds
-    are executed, so the barrier planning — and therefore the window
-    schedule — is shared verbatim between them (a prerequisite for
-    worker-count invariance).  Segments shipped at a barrier go to
-    ``segment_sink`` before the next window starts, so a streaming merge
-    stays exactly one barrier behind the shards.
+    ``window(end, inbound, ship, final) -> (outbound, events, horizons,
+    segments)``; the in-process and multiprocessing engines differ only in
+    how those rounds are executed, so the barrier planning — and therefore
+    the window schedule — is shared verbatim between them (a prerequisite
+    for worker-count invariance).
+
+    Segments are double-buffered: the ones shipped at barrier ``N`` are held
+    in ``staged`` and handed to the transport as the ``ship`` thunk of
+    window ``N+1``, which every transport invokes exactly once — *after*
+    dispatching the window to the workers (pipe transport: ingest overlaps
+    worker execution) but before absorbing any window-``N+1`` reply.  The
+    in-process transport ships first and then runs the window, which is the
+    same sink-call sequence the pre-overlap engine produced (run ``N``,
+    sink ``N``, run ``N+1``, ...).  Either way the sink sees each barrier's
+    segments exactly once, in barrier order, one barrier behind the shards.
+    Returns the cumulative seconds spent inside the sink as the last tuple
+    element (``merge_stage_s``).
     """
-    ship = segment_sink if segment_sink is not None else (lambda segments: None)
+    merge_s = 0.0
+    #: the previous barrier's shipped segments, awaiting the sink
+    staged: List[Optional[Dict[int, Any]]] = [None]
+
+    def ship() -> float:
+        """Feed the staged segments to the sink; returns seconds spent."""
+        nonlocal merge_s
+        segments = staged[0]
+        staged[0] = None
+        if not segments or segment_sink is None:
+            return 0.0
+        begin = time.perf_counter()
+        segment_sink(segments)
+        spent = time.perf_counter() - begin
+        merge_s += spent
+        return spent
+
     outbound, horizons, segments = transport.start()
-    if segments:
-        ship(segments)
+    staged[0] = segments
     inbound, cross = _route_outbound(outbound, owner)
     windows = 0
     events: Dict[int, int] = {}
@@ -607,14 +734,16 @@ def _execute_rounds(
     pitch = lookahead if lookahead is not None else segment_interval
     if pitch is None:
         # Single window: the embarrassingly parallel case (until may be None).
-        outbound, events, horizons, segments = transport.window(until, inbound)
-        if segments:
-            ship(segments)
+        outbound, events, horizons, segments = transport.window(
+            until, inbound, ship, final=True
+        )
+        staged[0] = segments
         inbound, moved = _route_outbound(outbound, owner)
         cross += moved
         windows = 1
         _check_unwindowed_leftovers(inbound, lookahead)
-        return windows, cross, events
+        ship()
+        return windows, cross, events, merge_s
 
     now = 0.0  # every shard's kernel starts at t=0 and lands exactly on `now`
     while now < until:
@@ -630,19 +759,27 @@ def _execute_rounds(
                 # before `frontier`, so a window reaching frontier+lookahead
                 # is exactly as safe as a fixed window of one lookahead.
                 end = min(max(frontier, now) + pitch, until)
-        outbound, events, horizons, segments = transport.window(end, inbound)
-        if segments:
-            ship(segments)
+        outbound, events, horizons, segments = transport.window(
+            end, inbound, ship, final=end >= until
+        )
+        staged[0] = segments
         inbound, moved = _route_outbound(outbound, owner)
         cross += moved
         _check_unwindowed_leftovers(inbound, lookahead)
         windows += 1
         now = end
-    return windows, cross, events
+    # The final barrier's segments have no next window to overlap with.
+    ship()
+    return windows, cross, events, merge_s
 
 
 class _InProcessTransport:
-    """Round executor running every shard sequentially in this process."""
+    """Round executor running every shard sequentially in this process.
+
+    The ``ship`` thunk runs *before* the window here: with one process there
+    is nothing to overlap with, and shipping first reproduces the serial
+    engine's exact sink-call sequence (run ``N``, sink ``N``, run ``N+1``).
+    """
 
     def __init__(self, shard_set: _ShardSet) -> None:
         self._shards = shard_set
@@ -650,7 +787,8 @@ class _InProcessTransport:
     def start(self):
         return self._shards.start()
 
-    def window(self, end, inbound):
+    def window(self, end, inbound, ship, final=False):
+        ship()
         return self._shards.run_window(end, inbound)
 
 
@@ -659,113 +797,281 @@ def _run_inprocess(specs, until, lookahead, horizon, segment_interval, segment_s
     sites = shard_set.actor_sites()
     owner, routes = _build_routing(sites, require_unique=lookahead is not None)
     shard_set.set_routes(routes)
-    windows, cross, events = _execute_rounds(
+    windows, cross, events, merge_s = _execute_rounds(
         _InProcessTransport(shard_set), owner, until, lookahead, horizon,
         segment_interval, segment_sink,
     )
-    return shard_set.finalize(), windows, cross, events
+    stats = {"merge_stage_s": merge_s}
+    return shard_set.finalize(), windows, cross, events, stats
+
+
+def _assign_shards(
+    specs: Sequence[ShardSpec], workers: int
+) -> List[List[ShardSpec]]:
+    """Balance shards over workers by weight, heaviest first.
+
+    Greedy longest-processing-time assignment: shards sorted by
+    ``(-weight, shard_id)`` each go to the currently least-loaded worker
+    (ties broken by worker index), so the schedule is deterministic and a
+    heavyweight shard never shares a worker while a lighter-loaded worker
+    exists.  Each worker's shard list is returned in ascending shard-id
+    order (the execution order inside the worker).
+    """
+    assignment: List[List[ShardSpec]] = [[] for _ in range(workers)]
+    loads = [0.0] * workers
+    for spec in sorted(specs, key=lambda s: (-s.weight, s.shard_id)):
+        widx = min(range(workers), key=lambda w: (loads[w], w))
+        assignment[widx].append(spec)
+        loads[widx] += spec.weight
+    for worker_specs in assignment:
+        worker_specs.sort(key=lambda s: s.shard_id)
+    return assignment
 
 
 class _PipeTransport:
-    """Round executor broadcasting barrier rounds to worker processes."""
+    """Round executor broadcasting barrier rounds to worker processes.
 
-    def __init__(self, pipes, shard_worker: Dict[int, int], recv) -> None:
-        self._pipes = pipes
-        self._shard_worker = shard_worker
-        self._recv = recv
+    * frames every command/reply as one explicit byte blob per worker per
+      round (compact wire codec by default), counting ``ipc_bytes`` and
+      ``ipc_messages`` in both directions;
+    * broadcasts a window *before* running the staged merge sink, so
+      reactive ingest overlaps worker execution (``overlap_s`` credits sink
+      time only when at least one worker had not replied when the sink
+      finished — a conservative measure);
+    * skips workers whose cached horizons lie strictly beyond the window end
+      when they have no inbound traffic (adaptive windows, no streaming
+      sink, non-final window only — see the module docstring for the safety
+      argument);
+    * absorbs replies in arrival order via ``connection.wait`` — a pipe that
+      hits EOF mid-round surfaces as an immediate error naming the dead
+      worker and its shards instead of blocking the round.
+    """
 
+    def __init__(
+        self,
+        pipes: Sequence[Any],
+        procs: Sequence[Any],
+        wire_codec: bool,
+        allow_skip: bool,
+    ) -> None:
+        self._pipes = list(pipes)
+        self._procs = list(procs)
+        self._dumps = encode_wire if wire_codec else pickle.dumps
+        self._allow_skip = allow_skip
+        #: shard id → worker index, and its inverse (bound after the ready
+        #: handshake, once the parent knows which shards each worker built)
+        self._shard_worker: Dict[int, int] = {}
+        self._worker_shards: Dict[int, List[int]] = {}
+        #: freshest per-shard state from worker replies; shards of a skipped
+        #: worker keep their previous values, which stay exact because a
+        #: skipped window executes nothing (no events, no horizon movement)
+        self._horizons: Dict[int, Optional[float]] = {}
+        self._events: Dict[int, int] = {}
+        self.ipc_bytes = 0
+        self.ipc_messages = 0
+        self.overlap_s = 0.0
+        self.windows_skipped = 0
+
+    # ------------------------------------------------------------- plumbing
+    def bind(self, shard_worker: Dict[int, int]) -> None:
+        """Install the shard→worker map once the ready handshake finished."""
+        self._shard_worker = dict(shard_worker)
+        self._worker_shards = {widx: [] for widx in range(len(self._pipes))}
+        for sid, widx in shard_worker.items():
+            self._worker_shards[widx].append(sid)
+        self._events = {sid: 0 for sid in shard_worker}
+
+    def send(self, widx: int, payload: Any) -> None:
+        frame = self._dumps(payload)
+        try:
+            self._pipes[widx].send_bytes(frame)
+        except (BrokenPipeError, OSError) as exc:
+            self._raise_dead(widx, exc)
+        self.ipc_bytes += len(frame)
+        self.ipc_messages += 1
+
+    def recv(self, widx: int) -> Any:
+        try:
+            frame = self._pipes[widx].recv_bytes()
+        except (EOFError, OSError) as exc:
+            self._raise_dead(widx, exc)
+        self.ipc_bytes += len(frame)
+        self.ipc_messages += 1
+        reply = pickle.loads(frame)
+        if reply[0] == "error":
+            raise RuntimeError(f"shard worker failed:\n{reply[1]}")
+        return reply
+
+    def _raise_dead(self, widx: int, exc: BaseException) -> None:
+        proc = self._procs[widx]
+        proc.join(timeout=1)
+        shards = sorted(self._worker_shards.get(widx, []))
+        raise RuntimeError(
+            f"shard worker {widx} (shards {shards}) died mid-run "
+            f"(exit code {proc.exitcode}); its pipe reported {exc!r}"
+        ) from exc
+
+    def _absorb(
+        self,
+        pending: Dict[Any, int],
+        outbound: Dict[int, List[RemoteMessage]],
+        segments: Dict[int, Any],
+    ) -> None:
+        """Merge replies as workers finish (arrival order, not pipe order).
+
+        Determinism is unaffected: outboxes are routed canonically by
+        :func:`_route_outbound` afterwards, horizon minima are
+        order-independent, and the per-shard dicts are disjoint across
+        workers.  A dead worker's pipe becomes readable at EOF, so the
+        failure surfaces here immediately instead of wedging ``recv`` on an
+        earlier pipe.
+        """
+        while pending:
+            for conn in mp_connection.wait(list(pending)):
+                widx = pending.pop(conn)
+                _, worker_out, worker_events, worker_horizons, worker_segments = (
+                    self.recv(widx)
+                )
+                outbound.update(worker_out)
+                self._events.update(worker_events)
+                self._horizons.update(worker_horizons)
+                segments.update(worker_segments)
+
+    # --------------------------------------------------------------- rounds
     def start(self):
+        for widx in range(len(self._pipes)):
+            self.send(widx, ("start",))
         outbound: Dict[int, List[RemoteMessage]] = {}
-        horizons: Dict[int, Optional[float]] = {}
         segments: Dict[int, Any] = {}
-        for conn in self._pipes:
-            conn.send(("start",))
-        for conn in self._pipes:
-            _, worker_out, _, worker_horizons, worker_segments = self._recv(conn)
-            outbound.update(worker_out)
-            horizons.update(worker_horizons)
-            segments.update(worker_segments)
-        return outbound, horizons, segments
+        pending = {self._pipes[widx]: widx for widx in range(len(self._pipes))}
+        self._absorb(pending, outbound, segments)
+        return outbound, dict(self._horizons), segments
 
-    def window(self, end, inbound):
+    def _beyond_window(self, widx: int, end: float) -> bool:
+        """Whether every shard of ``widx`` has its horizon strictly past ``end``.
+
+        An unknown horizon (shard never reported — cannot happen after
+        ``start``, but stay safe) counts as "has work now".
+        """
+        horizons = self._horizons
+        for sid in self._worker_shards[widx]:
+            t = horizons.get(sid, 0.0)
+            if t is not None and t <= end:
+                return False
+        return True
+
+    def window(self, end, inbound, ship, final=False):
+        outbound: Dict[int, List[RemoteMessage]] = {}
+        segments: Dict[int, Any] = {}
+        pending: Dict[Any, int] = {}
         for widx, conn in enumerate(self._pipes):
-            conn.send(("window", end, {
+            worker_inbound = {
                 sid: msgs for sid, msgs in inbound.items()
                 if self._shard_worker[sid] == widx
-            }))
-        outbound: Dict[int, List[RemoteMessage]] = {}
-        events: Dict[int, int] = {}
-        horizons: Dict[int, Optional[float]] = {}
-        segments: Dict[int, Any] = {}
-        for conn in self._pipes:
-            _, worker_out, worker_events, worker_horizons, worker_segments = self._recv(conn)
-            outbound.update(worker_out)
-            events.update(worker_events)
-            horizons.update(worker_horizons)
-            segments.update(worker_segments)
-        return outbound, events, horizons, segments
+            }
+            if (
+                self._allow_skip
+                and not final
+                and not worker_inbound
+                and self._beyond_window(widx, end)
+            ):
+                # Lightweight skip: an empty window is a pure no-op for this
+                # worker (nothing executes, sends or cuts before its horizon)
+                # and run_window is monotonic, so its next real window
+                # catches up identically.  No wake-up, no reply.
+                self.windows_skipped += 1
+                continue
+            if worker_inbound:
+                self.send(widx, ("window", end, worker_inbound))
+            else:
+                # Empty fast path: two-tuple frame, no inbound dict shipped.
+                self.send(widx, ("window", end))
+            pending[conn] = widx
+        # Overlapped merge stage: the workers are running the window we just
+        # broadcast while the parent ingests the *previous* barrier's
+        # segments.  Credit the sink time as overlapped only if at least one
+        # worker was still busy when the sink finished (conservative: a
+        # partially overlapped sink counts fully or not at all).
+        ship_s = ship()
+        if ship_s > 0.0 and pending:
+            ready = mp_connection.wait(list(pending), timeout=0)
+            if len(ready) < len(pending):
+                self.overlap_s += ship_s
+        self._absorb(pending, outbound, segments)
+        return outbound, dict(self._events), dict(self._horizons), segments
 
 
 def _run_multiprocess(
     specs, until, lookahead, horizon, workers, mp_context,
-    segment_interval, segment_sink,
+    segment_interval, segment_sink, wire_codec,
 ):
     if mp_context is None:
         methods = multiprocessing.get_all_start_methods()
         mp_context = "fork" if "fork" in methods else methods[0]
     ctx = multiprocessing.get_context(mp_context)
 
-    ordered = sorted(specs, key=lambda s: s.shard_id)
-    assignment: List[List[ShardSpec]] = [[] for _ in range(workers)]
-    for index, spec in enumerate(ordered):
-        assignment[index % workers].append(spec)
+    assignment = _assign_shards(specs, workers)
+
+    # Horizon-aware skips need adaptive planning and a lookahead (fixed mode
+    # must run every window everywhere; segment-interval-only runs have no
+    # horizon exchange), and no streaming sink — a skipped worker ships no
+    # segment cut, but a sink consumer relies on every barrier's coverage
+    # for its joint watermark.
+    allow_skip = (
+        horizon == "adaptive" and lookahead is not None and segment_sink is None
+    )
 
     pipes = []
     procs = []
     try:
         for worker_specs in assignment:
             parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(target=_worker_main, args=(child_conn, worker_specs))
+            proc = ctx.Process(
+                target=_worker_main, args=(child_conn, worker_specs, wire_codec)
+            )
             proc.daemon = True
             proc.start()
             child_conn.close()
             pipes.append(parent_conn)
             procs.append(proc)
 
-        def recv(conn):
-            reply = conn.recv()
-            if reply[0] == "error":
-                raise RuntimeError(f"shard worker failed:\n{reply[1]}")
-            return reply
+        transport = _PipeTransport(pipes, procs, wire_codec, allow_skip)
 
         sites: Dict[int, Dict[str, str]] = {}
         shard_worker: Dict[int, int] = {}
-        for widx, conn in enumerate(pipes):
-            _, worker_sites = recv(conn)
+        for widx in range(len(pipes)):
+            _, worker_sites = transport.recv(widx)
             sites.update(worker_sites)
             for sid in worker_sites:
                 shard_worker[sid] = widx
+        transport.bind(shard_worker)
         owner, routes = _build_routing(sites, require_unique=lookahead is not None)
-        for widx, conn in enumerate(pipes):
-            conn.send(("routes", {
+        for widx in range(len(pipes)):
+            transport.send(widx, ("routes", {
                 sid: routes[sid] for sid, w in shard_worker.items() if w == widx
             }))
-        for conn in pipes:
-            recv(conn)
+        for widx in range(len(pipes)):
+            transport.recv(widx)
 
-        transport = _PipeTransport(pipes, shard_worker, recv)
-        windows, cross, events = _execute_rounds(
+        windows, cross, events, merge_s = _execute_rounds(
             transport, owner, until, lookahead, horizon,
             segment_interval, segment_sink,
         )
 
         results: Dict[int, Any] = {}
-        for conn in pipes:
-            conn.send(("finish",))
-        for conn in pipes:
-            _, worker_results = recv(conn)
+        for widx in range(len(pipes)):
+            transport.send(widx, ("finish",))
+        for widx in range(len(pipes)):
+            _, worker_results = transport.recv(widx)
             results.update(worker_results)
-        return results, windows, cross, events
+        stats = {
+            "ipc_bytes": transport.ipc_bytes,
+            "ipc_messages": transport.ipc_messages,
+            "merge_stage_s": merge_s,
+            "merge_overlap_s": transport.overlap_s,
+            "worker_windows_skipped": transport.windows_skipped,
+        }
+        return results, windows, cross, events, stats
     finally:
         for conn in pipes:
             try:

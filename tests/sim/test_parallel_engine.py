@@ -640,3 +640,152 @@ def test_cross_traffic_under_segment_windows_still_raises():
         run_sharded(
             specs(), until=HORIZON, workers=1, segment_interval=0.05
         )
+
+# ---------------------------------------------------------------------------
+# Barrier-plane round 2: weighted placement, failure identity, skip windows,
+# and the wire codec differential
+# ---------------------------------------------------------------------------
+
+from repro.sim.parallel import _assign_shards  # noqa: E402
+
+
+def test_weighted_assignment_heaviest_first():
+    """LPT placement: heaviest shards spread first, ties broken by shard id.
+
+    Round-robin by list position — the old rule — would put shards [0, 2, 4]
+    and [1, 3] together regardless of weight, loading one worker with 8 and
+    the other with 4.  The weighted schedule is pinned exactly so a future
+    tweak cannot silently regress placement determinism.
+    """
+    weights = {0: 5.0, 1: 1.0, 2: 1.0, 3: 3.0, 4: 2.0}
+    specs = [
+        ShardSpec(sid, build_counting_shard, sid, weight=weight)
+        for sid, weight in weights.items()
+    ]
+    assignment = _assign_shards(specs, workers=2)
+    placed = [[spec.shard_id for spec in worker] for worker in assignment]
+    assert placed == [[0, 1], [2, 3, 4]]
+    loads = [sum(weights[sid] for sid in worker) for worker in placed]
+    assert loads == [6.0, 6.0]
+    # Deterministic: a permuted input yields the identical schedule.
+    assignment2 = _assign_shards(list(reversed(specs)), workers=2)
+    assert [[s.shard_id for s in worker] for worker in assignment2] == placed
+
+
+def test_nonpositive_shard_weight_rejected():
+    with pytest.raises(ValueError, match="weight"):
+        run_sharded(
+            [ShardSpec(0, build_counting_shard, 0, weight=0.0)], workers=1
+        )
+
+
+class DyingActor(Actor):
+    """Kills its whole worker process partway through the window."""
+
+    def on_start(self):
+        self.env.simulator.call_later(0.01, self._die)
+
+    def _die(self):
+        import os
+
+        os._exit(17)
+
+    def on_message(self, sender, message):  # pragma: no cover - never called
+        raise AssertionError("unreachable")
+
+
+class DyingHarness(ShardHarness):
+    def __init__(self, env, actor):
+        super().__init__(env)
+        self.actor = actor
+
+    def start(self):
+        self.actor.on_start()
+
+    def finalize(self):  # pragma: no cover - worker dies first
+        return None
+
+
+def build_dying_shard(payload):
+    env = Environment(seed=payload)
+    topo = Topology()
+    topo.add_site("dc1")
+    Network(env, topo, jitter_fraction=0.0)
+    if payload == 1:
+        return DyingHarness(env, DyingActor(env, f"dying{payload}"))
+    return CountingHarness(env, CountingActor(env, f"counter{payload}", ticks=50))
+
+
+def test_dead_worker_surfaces_with_identity():
+    """A worker that dies mid-window raises immediately, naming the worker
+    and its shards — instead of wedging the parent on a pipe read forever."""
+    with pytest.raises(RuntimeError, match=r"died mid-run") as excinfo:
+        run_sharded(
+            [ShardSpec(i, build_dying_shard, i) for i in range(2)], workers=2
+        )
+    message = str(excinfo.value)
+    assert "shards" in message and "exit code" in message
+
+
+class OneWayReceiver(Actor):
+    """Passive sink: logs receipts, never schedules or sends anything."""
+
+    def __init__(self, env, name, site):
+        super().__init__(env, name, site)
+        self.received = []
+
+    def on_message(self, sender, message):
+        self.received.append((round(self.now, 9), message["burst"], message["index"]))
+
+
+def build_oneway_shard(index):
+    topo = Topology(local_latency=0.00005, local_bandwidth_bps=10e9)
+    topo.add_site("s0")
+    topo.add_site("s1")
+    topo.set_link("s0", "s1", one_way_latency=BURST_LATENCY, bandwidth_bps=1e9)
+    env = Environment(seed=13)
+    Network(env, topo, jitter_fraction=0.0)
+    if index == 0:
+        actor = BurstActor(env, "burst0", "s0", "sink1")
+        return BurstHarness(env, actor)
+    actor = OneWayReceiver(env, "sink1", "s1")
+    return BurstHarness(env, actor)
+
+
+def test_one_way_bursts_skip_idle_receiver_windows():
+    """Horizon-aware scheduling: the idle receiver's worker is skipped —
+    no wake, no reply — for windows where it has no inbound and no local
+    events, without changing a single delivery."""
+    runs = {}
+    for workers in (1, 2):
+        runs[workers] = run_sharded(
+            [ShardSpec(i, build_oneway_shard, i) for i in range(2)],
+            until=BURST_UNTIL,
+            workers=workers,
+            lookahead=BURST_LATENCY,
+            horizon="adaptive",
+        )
+    assert runs[1].results == runs[2].results
+    assert runs[1].windows == runs[2].windows
+    assert len(runs[1].results[1]) == BURST_COUNT * BURST_SIZE
+    # The in-process reference engine never skips; the pipe transport must
+    # have skipped the receiver during the sender-only stretches.
+    assert runs[1].worker_windows_skipped == 0
+    assert runs[2].worker_windows_skipped > 0
+
+
+def test_wire_codec_engine_differential():
+    """Delivery order is bit-identical with the codec on and off."""
+    baseline = run_sharded(specs(), until=HORIZON, workers=1, lookahead=LINK_LATENCY)
+    codec = run_sharded(
+        specs(), until=HORIZON, workers=2, lookahead=LINK_LATENCY, wire_codec=True
+    )
+    legacy = run_sharded(
+        specs(), until=HORIZON, workers=2, lookahead=LINK_LATENCY, wire_codec=False
+    )
+    assert codec.results == legacy.results == baseline.results
+    assert codec.windows == legacy.windows == baseline.windows
+    # IPC accounting: real for pipe transports, zero for the in-process one.
+    assert codec.ipc_bytes > 0 and legacy.ipc_bytes > 0
+    assert codec.ipc_messages > 0
+    assert baseline.ipc_bytes == 0 and baseline.ipc_messages == 0
